@@ -1,0 +1,86 @@
+"""DOM — the domination claims: the paper's protocols beat the prior literature.
+
+Three comparisons, each over the same adversary ensembles:
+
+* Optmin[k] vs FloodMin and the nonuniform new-failure-rule protocol
+  (Optmin must dominate both, strictly on the ensemble);
+* u-Pmin[k] vs FloodMin and the uniform new-failure-rule protocol;
+* Opt0 vs classic early-stopping consensus (the [CGM14] claim that the paper
+  builds on).
+
+Reported per pair: mean/max rounds saved and the fraction of adversaries on
+which the candidate is strictly faster — the "who wins, by what factor" shape
+of the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EarlyDecidingKSet,
+    EarlyStoppingConsensus,
+    FloodMin,
+    Opt0,
+    OptMin,
+    UPMin,
+    UniformEarlyDecidingKSet,
+)
+from repro.adversaries import AdversaryGenerator, figure4_scenario
+from repro.analysis import speedup_table
+from repro.model import Context
+from repro.verification import compare_protocols
+
+from conftest import print_table
+
+
+SAMPLES = 150
+
+
+def run_comparisons():
+    rows = []
+
+    kset_context = Context(n=8, t=5, k=2)
+    kset_adversaries = AdversaryGenerator(kset_context, seed=1).sample(SAMPLES)
+    consensus_context = Context(n=6, t=4, k=1, max_value=1)
+    consensus_adversaries = AdversaryGenerator(consensus_context, seed=2).sample(SAMPLES)
+    fig4 = figure4_scenario(k=2, rounds=5)
+
+    comparisons = [
+        ("Optmin[2]", OptMin(2), FloodMin(2), kset_adversaries, kset_context.t),
+        ("Optmin[2]", OptMin(2), EarlyDecidingKSet(2), kset_adversaries, kset_context.t),
+        ("u-Pmin[2]", UPMin(2), FloodMin(2), kset_adversaries, kset_context.t),
+        ("u-Pmin[2]", UPMin(2), UniformEarlyDecidingKSet(2), kset_adversaries, kset_context.t),
+        ("Opt0", Opt0(), EarlyStoppingConsensus(), consensus_adversaries, consensus_context.t),
+        ("u-Pmin[2] (fig4)", UPMin(2), UniformEarlyDecidingKSet(2), [fig4.adversary], fig4.context.t),
+    ]
+    for label, candidate, reference, adversaries, t in comparisons:
+        report = compare_protocols(candidate, reference, adversaries, t)
+        speedup = speedup_table(candidate, [reference], adversaries, t)[reference.name]
+        rows.append(
+            (
+                label,
+                reference.name,
+                report.dominates,
+                report.strictly_dominates,
+                f"{speedup['mean_rounds_saved']:.2f}",
+                int(speedup["max_rounds_saved"]),
+                f"{speedup['fraction_strictly_faster']:.2f}",
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="dom")
+def test_domination_of_prior_protocols(benchmark):
+    rows = benchmark(run_comparisons)
+    print_table(
+        "DOM — domination of the prior protocols (rounds saved on the last correct decision)",
+        ["candidate", "reference", "dominates", "strictly", "mean saved", "max saved", "frac faster"],
+        rows,
+    )
+    for label, _reference, dominates, strictly, _mean, max_saved, _frac in rows:
+        assert dominates
+        # Every candidate is strictly better somewhere on its ensemble.
+        assert strictly
+        assert max_saved >= 1

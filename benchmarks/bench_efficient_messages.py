@@ -1,0 +1,69 @@
+"""APPE — Appendix E: the compact implementation sends O(n log n) bits per channel.
+
+The benchmark sweeps the system size, runs the compact message discipline over
+random adversaries, and reports the worst per-channel bit count against the
+explicit ``O(n log n)`` budget, together with the fraction of nodes at which
+the compact reconstruction's hidden capacity coincides exactly with the
+full-information protocol's (it is never lower; see the module docstring of
+``repro.efficient.compact``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import AdversaryGenerator
+from repro.efficient import CompactSimulation, compare_compact_to_fip, nlogn_bound
+from repro.model import Context
+
+from conftest import print_table
+
+
+N_SWEEP = [4, 6, 8, 12, 16]
+SAMPLES = 15
+
+
+def run_sweep():
+    rows = []
+    for n in N_SWEEP:
+        context = Context(n=n, t=max(1, n // 3), k=2)
+        generator = AdversaryGenerator(context, seed=n)
+        worst_bits = 0
+        horizon = 0
+        exact_nodes = 0
+        total_nodes = 0
+        for adversary in generator.sample(SAMPLES):
+            simulation = CompactSimulation(adversary, context.t)
+            worst_bits = max(worst_bits, simulation.max_bits_per_channel())
+            horizon = max(horizon, simulation.horizon)
+            comparison = compare_compact_to_fip(adversary, context.t)
+            total_nodes += comparison.nodes_compared
+            exact_nodes += comparison.nodes_compared - comparison.capacity_mismatches
+            assert comparison.sound
+        budget = nlogn_bound(n, horizon, max_value=2)
+        rows.append(
+            (
+                n,
+                context.t,
+                worst_bits,
+                budget,
+                f"{worst_bits / budget:.2f}",
+                f"{exact_nodes / total_nodes:.3f}",
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="appe")
+def test_efficient_implementation_bits(benchmark):
+    rows = benchmark(run_sweep)
+    print_table(
+        "APPE — worst per-channel bits of the compact implementation vs the O(n log n) budget",
+        ["n", "t", "worst bits/channel", "budget", "ratio", "exact-capacity node fraction"],
+        rows,
+    )
+    previous_ratio = None
+    for _n, _t, bits, budget, ratio, exact_fraction in rows:
+        assert bits <= budget
+        assert float(exact_fraction) >= 0.95
+        previous_ratio = ratio

@@ -1,0 +1,57 @@
+"""FIG1 — Fig. 1: a hidden path delays deciding 1 in Opt0.
+
+The figure's claim: as long as a hidden path w.r.t. ``<i, m>`` exists and
+``i`` has not seen a 0, ``i`` cannot decide — so on the chain adversary of
+Fig. 1 the observer decides exactly one round after the chain ends, while on
+a failure-free run it decides at time 1.  The benchmark sweeps the chain
+length and reports the observer's decision time under Opt0 and under the
+classic early-stopping baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EarlyStoppingConsensus, Opt0
+from repro.adversaries import figure1_scenario
+from repro.model import Run
+
+from conftest import print_table
+
+
+CHAIN_LENGTHS = [1, 2, 3, 4, 5]
+
+
+def run_sweep():
+    rows = []
+    for length in CHAIN_LENGTHS:
+        scenario = figure1_scenario(chain_length=length, extra_processes=2)
+        opt0 = Run(Opt0(), scenario.adversary, scenario.context.t)
+        baseline = Run(EarlyStoppingConsensus(), scenario.adversary, scenario.context.t)
+        rows.append(
+            (
+                length,
+                scenario.adversary.num_failures,
+                opt0.decision_time(scenario.observer),
+                baseline.decision_time(scenario.observer),
+                opt0.last_decision_time(),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_hidden_path_sweep(benchmark):
+    rows = benchmark(run_sweep)
+    print_table(
+        "FIG1 — observer decision time vs. hidden-path length (Opt0 vs early-stopping consensus)",
+        ["chain length m", "failures f", "Opt0 observer", "baseline observer", "Opt0 last decider"],
+        rows,
+    )
+    for length, f, opt0_time, baseline_time, _last in rows:
+        # The hidden path blocks the observer exactly until the chain ends.
+        assert opt0_time == length + 1
+        # Opt0 never loses to the early-stopping baseline.
+        assert opt0_time <= baseline_time
+        # The bound of Proposition 1 (k = 1): f + 1 rounds.
+        assert opt0_time <= f + 1

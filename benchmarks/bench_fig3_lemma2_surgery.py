@@ -1,0 +1,67 @@
+"""FIG3 — Fig. 3 / Lemma 2: the constructive run surgery behind the unbeatability proof.
+
+The proof's engine: at a node with hidden capacity ``c``, the witnesses can be
+rewired into ``c`` disjoint crash chains carrying any ``c`` chosen values,
+without the observer being able to tell.  The benchmark applies the surgery
+across ``k`` and depth, verifies all of Lemma 2's guarantees, and then runs
+the Lemma 3 confrontation (Optmin[k] stays correct on the surgered adversary
+while the eager "beating attempt" violates k-Agreement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import figure2_scenario, lemma2_surgery, verify_surgery
+from repro.model import Run
+from repro.verification import demonstrate_unbeatability_mechanism
+
+from conftest import print_table
+
+
+PARAMETERS = [(2, 2), (3, 2), (4, 2), (3, 3)]
+
+
+def run_surgery_sweep():
+    rows = []
+    for k, depth in PARAMETERS:
+        scenario = figure2_scenario(k=k, depth=depth)
+        base = Run(None, scenario.adversary, scenario.context.t, horizon=depth)
+        result = lemma2_surgery(base, scenario.observer, depth, list(range(k)))
+        check = verify_surgery(base, result)
+        mechanism = demonstrate_unbeatability_mechanism(k, depth)
+        rows.append(
+            (
+                k,
+                depth,
+                check.observer_view_preserved,
+                check.values_delivered and check.no_foreign_values,
+                check.residual_capacity,
+                len(mechanism["optmin_decided_values"]),
+                len(mechanism["eager_decided_values"]),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_lemma2_surgery(benchmark):
+    rows = benchmark(run_surgery_sweep)
+    print_table(
+        "FIG3 — Lemma 2 surgery guarantees and the Lemma 3 confrontation",
+        [
+            "k",
+            "depth",
+            "view preserved",
+            "values routed",
+            "residual HC >= k-1",
+            "#values (Optmin)",
+            "#values (eager attempt)",
+        ],
+        rows,
+    )
+    for k, _depth, preserved, routed, residual, optmin_values, eager_values in rows:
+        assert preserved and routed and residual
+        # Optmin stays within k values; the attempt to beat it decides k+1.
+        assert optmin_values <= k
+        assert eager_values == k + 1

@@ -1,0 +1,76 @@
+"""FIG4 — Fig. 4: u-Pmin[k] decides at time 2 where all known protocols need ⌊t/k⌋ + 1.
+
+The paper's headline for the uniform case.  The benchmark sweeps the number of
+heavy rounds (⌊t/k⌋) of the Fig. 4 adversary and reports, for every protocol,
+the time of the last correct decision; the gap between u-Pmin[k] and every
+failure-counting protocol grows linearly with t.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EarlyDecidingKSet, FloodMin, OptMin, UPMin, UniformEarlyDecidingKSet
+from repro.adversaries import figure4_scenario
+from repro.model import Run
+
+from conftest import print_table
+
+
+K = 3
+ROUND_SWEEP = [2, 3, 4, 6, 8]
+
+
+def run_sweep():
+    rows = []
+    for rounds in ROUND_SWEEP:
+        scenario = figure4_scenario(k=K, rounds=rounds)
+        t = scenario.context.t
+        entry = {"rounds": rounds, "t": t, "deadline": t // K + 1}
+        for protocol in (
+            UPMin(K),
+            OptMin(K),
+            UniformEarlyDecidingKSet(K),
+            EarlyDecidingKSet(K),
+            FloodMin(K),
+        ):
+            run = Run(protocol, scenario.adversary, t)
+            entry[protocol.name] = run.last_decision_time()
+        rows.append(entry)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_uniform_speedup(benchmark):
+    rows = benchmark(run_sweep)
+    print_table(
+        f"FIG4 — last correct decision time on the Fig. 4 adversary (k={K})",
+        ["⌊t/k⌋", "t", "deadline", "u-Pmin", "Optmin", "u-EarlyDec", "EarlyDec", "FloodMin"],
+        [
+            (
+                row["rounds"],
+                row["t"],
+                row["deadline"],
+                row["u-Pmin[k]"],
+                row["Optmin[k]"],
+                row["u-EarlyDeciding[k] (new-failure rule)"],
+                row["EarlyDeciding[k] (new-failure rule)"],
+                row["FloodMin"],
+            )
+            for row in rows
+        ],
+    )
+    for row in rows:
+        # u-Pmin decides at time 2 regardless of t ...
+        assert row["u-Pmin[k]"] == 2
+        # ... while every failure-counting protocol needs the full ⌊t/k⌋ + 1 rounds.
+        for baseline in (
+            "u-EarlyDeciding[k] (new-failure rule)",
+            "EarlyDeciding[k] (new-failure rule)",
+            "FloodMin",
+        ):
+            assert row[baseline] == row["deadline"] == row["rounds"] + 1
+    # The margin grows with t (the paper: "beating them by a large margin").
+    margins = [row["deadline"] - row["u-Pmin[k]"] for row in rows]
+    assert margins == sorted(margins)
+    assert margins[-1] >= 7

@@ -1,0 +1,80 @@
+"""PROP2 — Proposition 2: hidden capacity >= k implies a (k-1)-connected star complex.
+
+The benchmark builds exhaustive one-round protocol complexes for small systems
+(the "at most k crashes per round" family of the lower-bound literature),
+sweeps every vertex, and cross-tabulates the vertex's hidden capacity against
+the homological connectivity of its star complex.  Proposition 2 predicts that
+no vertex with capacity >= k has a star that fails the (k-1)-connectivity
+proxy; the converse direction (which the paper leaves open) is reported as
+data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Context, Run
+from repro.topology import build_restricted_complex, connectivity_profile
+
+from conftest import print_table
+
+
+CASES = [
+    # (n, k, time)
+    (4, 1, 1),
+    (5, 2, 1),
+    (6, 2, 1),
+]
+
+
+def run_survey():
+    rows = []
+    for n, k, time in CASES:
+        context = Context(n=n, t=n - 1, k=k)
+        pc = build_restricted_complex(context, time=time, max_crashes_per_round=k)
+        total = 0
+        high_capacity = 0
+        consistent = 0
+        converse_holds = 0
+        converse_cases = 0
+        for adversary, process in pc.vertex_views.values():
+            run = Run(None, adversary, context.t, horizon=time)
+            if not run.has_view(process, time):
+                continue
+            capacity = run.view(process, time).hidden_capacity()
+            star = pc.star_of(adversary, process, context.t)
+            level = connectivity_profile(star, max_q=k - 1)
+            total += 1
+            if capacity >= k:
+                high_capacity += 1
+                if level >= k - 1:
+                    consistent += 1
+            if level >= k - 1:
+                converse_cases += 1
+                if capacity >= k:
+                    converse_holds += 1
+        rows.append((n, k, time, total, high_capacity, consistent, converse_cases, converse_holds))
+    return rows
+
+
+@pytest.mark.benchmark(group="prop2")
+def test_prop2_capacity_implies_connectivity(benchmark):
+    rows = benchmark(run_survey)
+    print_table(
+        "PROP2 — hidden capacity vs (k-1)-connectivity of the star complex",
+        [
+            "n",
+            "k",
+            "m",
+            "vertices",
+            "HC >= k",
+            "of which (k-1)-connected",
+            "(k-1)-connected stars",
+            "of which HC >= k",
+        ],
+        rows,
+    )
+    for _n, _k, _m, total, high, consistent, _conn, _conv in rows:
+        assert total > 0
+        # Proposition 2: every high-capacity vertex has a (k-1)-connected star.
+        assert consistent == high

@@ -1,0 +1,43 @@
+"""SCALE — engineering benchmark: cost of simulating runs as n and t grow.
+
+Not a paper experiment; it records the cost profile of the full-information
+run engine (the substrate every other experiment stands on) so performance
+regressions are visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptMin, UPMin
+from repro.adversaries import AdversaryGenerator
+from repro.model import Context, Run
+
+
+CASES = [(8, 4), (16, 8), (32, 10), (64, 12)]
+
+
+def simulate(context: Context, adversaries, protocol) -> int:
+    decided = 0
+    for adversary in adversaries:
+        run = Run(protocol, adversary, context.t)
+        decided += sum(1 for _ in run.decisions())
+    return decided
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n,t", CASES)
+def test_optmin_simulation_cost(benchmark, n, t):
+    context = Context(n=n, t=t, k=2)
+    adversaries = AdversaryGenerator(context, seed=n).sample(5)
+    decided = benchmark(simulate, context, adversaries, OptMin(2))
+    assert decided > 0
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n,t", CASES[:3])
+def test_upmin_simulation_cost(benchmark, n, t):
+    context = Context(n=n, t=t, k=2)
+    adversaries = AdversaryGenerator(context, seed=n).sample(5)
+    decided = benchmark(simulate, context, adversaries, UPMin(2))
+    assert decided > 0

@@ -1,0 +1,50 @@
+"""THM3 — Theorem 3: u-Pmin[k] decides by time min(⌊t/k⌋ + 1, ⌊f/k⌋ + 2).
+
+The benchmark sweeps (n, k, t) with random adversaries stratified by the
+number of failures f, and reports the worst observed decision time per f
+against the theorem's bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UPMin
+from repro.adversaries import AdversaryGenerator
+from repro.model import Context, Run
+from repro.verification import check_run_for_protocol, theorem3_bound
+
+from conftest import print_table
+
+
+GRID = [(7, 2, 4), (7, 3, 6), (9, 2, 6)]
+SAMPLES_PER_F = 25
+
+
+def run_grid():
+    rows = []
+    for n, k, t in GRID:
+        context = Context(n=n, t=t, k=k)
+        generator = AdversaryGenerator(context, seed=n * 31 + k)
+        for f in range(0, t + 1, max(1, t // 3)):
+            worst = 0
+            violations = 0
+            for adversary in generator.sample(SAMPLES_PER_F, num_failures=f):
+                run = Run(UPMin(k), adversary, context.t)
+                worst = max(worst, run.last_decision_time(correct_only=False) or 0)
+                violations += len(check_run_for_protocol(run))
+            rows.append((n, k, t, f, worst, theorem3_bound(k, t, f), violations))
+    return rows
+
+
+@pytest.mark.benchmark(group="thm3")
+def test_thm3_uniform_bound(benchmark):
+    rows = benchmark(run_grid)
+    print_table(
+        "THM3 — u-Pmin[k] worst decision time vs min(⌊t/k⌋+1, ⌊f/k⌋+2)",
+        ["n", "k", "t", "f", "worst observed", "bound", "violations"],
+        rows,
+    )
+    for _n, _k, _t, _f, worst, bound, violations in rows:
+        assert violations == 0
+        assert worst <= bound

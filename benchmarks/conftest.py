@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment from the paper (see
+DESIGN.md §4 and EXPERIMENTS.md).  Conventions:
+
+* each benchmark prints the paper-style rows/series it reproduces (captured
+  with ``pytest benchmarks/ --benchmark-only -s`` or in the benchmark logs),
+  and *asserts* the qualitative shape (who wins, by how much, where the
+  crossover is);
+* the timed portion (the ``benchmark(...)`` call) is the experiment's core
+  computation, so ``--benchmark-only`` runs double as a performance record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import AdversaryGenerator
+from repro.model import Context
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print an aligned table (used by every benchmark for its paper-style output)."""
+    from repro.analysis import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+@pytest.fixture
+def small_context() -> Context:
+    return Context(n=6, t=4, k=2)
+
+
+@pytest.fixture
+def generator(small_context: Context) -> AdversaryGenerator:
+    return AdversaryGenerator(small_context, seed=20160523)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Figures 1 and 2: hidden paths and hidden capacity.
+
+The example reconstructs the two adversaries the paper uses to explain why a
+process must stay undecided, prints the observer's view layer by layer (which
+nodes are seen, which are provably crashed, which are hidden), and shows how
+the hidden capacity gates the decisions of Opt0 and Optmin[k].
+
+Run with:  python examples/hidden_capacity_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import Opt0, OptMin, Run
+from repro.adversaries import figure1_scenario, figure2_scenario
+from repro.knowledge import classify_layer, disjoint_hidden_chains
+from repro.analysis import render_run
+
+
+def describe_observer(run: Run, observer: int, time: int) -> None:
+    view = run.view(observer, time)
+    print(view.describe())
+    for layer in range(time + 1):
+        groups = classify_layer(view, layer)
+        print(
+            f"    layer {layer}: seen={list(groups['seen'])} "
+            f"crashed={list(groups['crashed'])} hidden={list(groups['hidden'])}"
+        )
+
+
+def figure1_walkthrough() -> None:
+    print("=" * 72)
+    print("Figure 1 — a hidden path w.r.t. <i, 2> in binary consensus")
+    print("=" * 72)
+    scenario = figure1_scenario(chain_length=2)
+    run = Run(Opt0(), scenario.adversary, scenario.context.t)
+    print(render_run(run, max_time=3))
+    print()
+    describe_observer(run, scenario.observer, 2)
+    print(
+        f"\n  While the hidden path exists the observer cannot decide 1; it decides "
+        f"{run.decision_value(scenario.observer)} at time {run.decision_time(scenario.observer)} "
+        "once the path is exhausted and the 0 reaches it."
+    )
+
+
+def figure2_walkthrough() -> None:
+    print()
+    print("=" * 72)
+    print("Figure 2 — hidden capacity 3 at <i, 2> in 3-set consensus")
+    print("=" * 72)
+    scenario = figure2_scenario(k=3, depth=2)
+    run = Run(OptMin(3), scenario.adversary, scenario.context.t)
+    print(render_run(run, max_time=3))
+    print()
+    describe_observer(run, scenario.observer, 2)
+    chains = disjoint_hidden_chains(run.view(scenario.observer, 2))
+    print("\n  disjoint hidden chains witnessing the capacity:")
+    for index, chain in enumerate(chains):
+        print(f"    chain {index}: {chain}")
+    print(
+        f"\n  With capacity >= k = 3 the observer must stay undecided; it decides "
+        f"{run.decision_value(scenario.observer)} at time {run.decision_time(scenario.observer)} "
+        "as soon as the capacity collapses (Proposition 1's bound, met with equality here)."
+    )
+
+
+if __name__ == "__main__":
+    figure1_walkthrough()
+    figure2_walkthrough()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Decision-time comparison of every protocol in the library over a random ensemble.
+
+Reproduces, in miniature, the DOM experiment: run the paper's protocols and
+the prior-literature baselines over the same randomly generated adversaries
+and tabulate mean / worst-case decision times and the rounds saved by the
+paper's protocols, plus a domination verdict per pair.
+
+Run with:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EarlyDecidingKSet,
+    FloodMin,
+    OptMin,
+    UPMin,
+    UniformEarlyDecidingKSet,
+)
+from repro.adversaries import AdversaryGenerator
+from repro.analysis import collect, statistics_report, speedup_table
+from repro.model import Context
+from repro.verification import compare_protocols
+
+
+def main() -> None:
+    context = Context(n=8, t=5, k=2)
+    generator = AdversaryGenerator(context, seed=7)
+    adversaries = generator.sample(200)
+    print(
+        f"context: n={context.n}, t={context.t}, k={context.k}; "
+        f"{len(adversaries)} random adversaries\n"
+    )
+
+    protocols = [
+        OptMin(context.k),
+        UPMin(context.k),
+        EarlyDecidingKSet(context.k),
+        UniformEarlyDecidingKSet(context.k),
+        FloodMin(context.k),
+    ]
+    stats = collect(protocols, adversaries, context.t)
+    print(statistics_report(stats))
+
+    print("\nrounds saved by Optmin[k] over each baseline (last correct decision):")
+    for name, entry in speedup_table(
+        OptMin(context.k), protocols[2:], adversaries, context.t
+    ).items():
+        print(
+            f"  vs {name:45s} mean {entry['mean_rounds_saved']:.2f}, "
+            f"max {entry['max_rounds_saved']:.0f}, "
+            f"strictly faster on {entry['fraction_strictly_faster']:.0%} of adversaries"
+        )
+
+    print("\ndomination verdicts:")
+    for reference in protocols[2:]:
+        report = compare_protocols(OptMin(context.k), reference, adversaries[:100], context.t)
+        print(f"  {report.summary()}")
+    for reference in (UniformEarlyDecidingKSet(context.k), FloodMin(context.k)):
+        report = compare_protocols(UPMin(context.k), reference, adversaries[:100], context.t)
+        print(f"  {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so that `pip install -e .` / `python setup.py develop` work on
+environments whose setuptools lacks PEP 660 editable-wheel support (no
+`wheel` package available offline).  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

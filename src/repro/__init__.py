@@ -1,0 +1,65 @@
+"""repro — reproduction of "Unbeatable Set Consensus via Topological and Combinatorial Reasoning".
+
+A pure-Python library implementing the synchronous crash-failure model, the
+unbeatable nonuniform k-set consensus protocol Optmin[k], the fast uniform
+protocol u-Pmin[k], the prior-literature baselines, the hidden-capacity
+machinery, the Lemma 2 run surgery, and the combinatorial-topology toolkit
+(protocol complexes, star complexes, Sperner subdivisions, connectivity)
+used by the paper's proofs — plus verification, benchmarking and analysis
+harnesses for every figure and quantitative claim.
+
+Quickstart::
+
+    from repro import Adversary, Context, OptMin, Run
+    from repro.adversaries import AdversaryGenerator
+
+    context = Context(n=7, t=4, k=2)
+    adversary = AdversaryGenerator(context, seed=1).random_adversary()
+    run = Run(OptMin(k=2), adversary, t=context.t)
+    print(run.decisions())
+"""
+
+from .baselines import (
+    EarlyDecidingKSet,
+    EarlyStoppingConsensus,
+    FloodMin,
+    UniformEarlyDecidingKSet,
+    UniformEarlyStoppingConsensus,
+)
+from .core import Opt0, OptMin, Protocol, UOpt0, UPMin
+from .model import (
+    Adversary,
+    Context,
+    CrashEvent,
+    Decision,
+    FailurePattern,
+    ProcessTimeNode,
+    Run,
+    View,
+    execute,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "Context",
+    "CrashEvent",
+    "Decision",
+    "EarlyDecidingKSet",
+    "EarlyStoppingConsensus",
+    "FailurePattern",
+    "FloodMin",
+    "Opt0",
+    "OptMin",
+    "ProcessTimeNode",
+    "Protocol",
+    "Run",
+    "UOpt0",
+    "UPMin",
+    "UniformEarlyDecidingKSet",
+    "UniformEarlyStoppingConsensus",
+    "View",
+    "execute",
+    "__version__",
+]

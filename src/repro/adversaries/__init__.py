@@ -1,0 +1,37 @@
+"""Adversary construction: random generators, the paper's figures, Lemma 2 surgery, enumeration."""
+
+from .enumeration import (
+    count_adversaries,
+    enumerate_adversaries,
+    enumerate_failure_patterns,
+    enumerate_input_vectors,
+)
+from .generators import (
+    AdversaryGenerator,
+    block_crash_adversary,
+    crash_chain_adversary,
+    crash_chain_events,
+    failure_free_adversaries,
+)
+from .scenarios import Scenario, figure1_scenario, figure2_scenario, figure4_scenario
+from .surgery import SurgeryCheck, SurgeryResult, lemma2_surgery, verify_surgery
+
+__all__ = [
+    "AdversaryGenerator",
+    "Scenario",
+    "SurgeryCheck",
+    "SurgeryResult",
+    "block_crash_adversary",
+    "count_adversaries",
+    "crash_chain_adversary",
+    "crash_chain_events",
+    "enumerate_adversaries",
+    "enumerate_failure_patterns",
+    "enumerate_input_vectors",
+    "failure_free_adversaries",
+    "figure1_scenario",
+    "figure2_scenario",
+    "figure4_scenario",
+    "lemma2_surgery",
+    "verify_surgery",
+]

@@ -1,0 +1,117 @@
+"""Exhaustive adversary enumeration for small systems.
+
+Unbeatability and agreement are universally quantified statements over all
+adversaries of a context; for small contexts the quantifier can be discharged
+by brute force.  This module enumerates adversaries — input vectors crossed
+with failure patterns — under configurable restrictions that keep the space
+tractable while preserving the interesting structure:
+
+* ``max_crash_round`` bounds how late crashes may happen (crashes later than
+  the decision horizon cannot influence decisions);
+* ``receiver_policy`` controls which crashing-round delivery subsets are
+  enumerated: ``"all"`` (every subset — exponential), ``"canonical"`` (the
+  empty set, the full set, and every singleton — the subsets that matter for
+  hidden-path/hidden-capacity structure), or ``"none"`` (silent crashes only);
+* ``max_failures`` optionally lowers the number of crashes below ``t``.
+
+The exhaustive model-checking tests (``tests/test_exhaustive.py``) and the
+verification helpers in :mod:`repro.verification.checker` are the primary
+consumers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.adversary import Adversary, Context
+from ..model.failure_pattern import CrashEvent, FailurePattern
+from ..model.types import ProcessId, Round, Value
+
+
+def enumerate_input_vectors(context: Context) -> Iterator[Tuple[Value, ...]]:
+    """All input vectors of the context (``(d+1)^n`` of them)."""
+    domain = list(context.values_domain)
+    yield from itertools.product(domain, repeat=context.n)
+
+
+def _receiver_subsets(
+    n: int, crasher: ProcessId, policy: str
+) -> Iterator[frozenset]:
+    others = [q for q in range(n) if q != crasher]
+    if policy == "none":
+        yield frozenset()
+    elif policy == "canonical":
+        yield frozenset()
+        for q in others:
+            yield frozenset({q})
+        yield frozenset(others)
+    elif policy == "all":
+        for size in range(len(others) + 1):
+            for subset in itertools.combinations(others, size):
+                yield frozenset(subset)
+    else:
+        raise ValueError(f"unknown receiver policy {policy!r}")
+
+
+def enumerate_failure_patterns(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+) -> Iterator[FailurePattern]:
+    """All failure patterns of the context under the given restrictions."""
+    n = context.n
+    max_failures = context.t if max_failures is None else min(max_failures, context.t)
+    max_round = max_crash_round or context.horizon()
+    for count in range(max_failures + 1):
+        for faulty in itertools.combinations(range(n), count):
+            per_process_options: List[List[CrashEvent]] = []
+            for p in faulty:
+                options = [
+                    CrashEvent(p, round_, receivers)
+                    for round_ in range(1, max_round + 1)
+                    for receivers in _receiver_subsets(n, p, receiver_policy)
+                ]
+                per_process_options.append(options)
+            for combo in itertools.product(*per_process_options):
+                yield FailurePattern(n, combo)
+
+
+def enumerate_adversaries(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Adversary]:
+    """All adversaries of the context under the given restrictions.
+
+    Patterns are enumerated in the outer loop and input vectors in the inner
+    loop.  ``limit`` truncates the stream (useful for smoke tests); when it is
+    ``None`` the stream is exhaustive for the restricted space.
+    """
+    produced = 0
+    for pattern in enumerate_failure_patterns(
+        context, max_crash_round, receiver_policy, max_failures
+    ):
+        for values in enumerate_input_vectors(context):
+            yield Adversary(values, pattern)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def count_adversaries(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+) -> int:
+    """The size of the restricted adversary space (by direct counting)."""
+    return sum(
+        1
+        for _ in enumerate_adversaries(
+            context, max_crash_round, receiver_policy, max_failures
+        )
+    )

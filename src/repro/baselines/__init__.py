@@ -1,0 +1,28 @@
+"""Baseline protocols from the prior literature that the paper compares against.
+
+* :class:`repro.baselines.floodmin.FloodMin` — worst-case-optimal, never early.
+* :class:`repro.baselines.early_deciding.EarlyDecidingKSet` /
+  :class:`repro.baselines.early_deciding.UniformEarlyDecidingKSet` — the
+  "fewer than k new failures per round" early-deciding protocols.
+* :class:`repro.baselines.early_deciding.EarlyStoppingConsensus` /
+  :class:`repro.baselines.early_deciding.UniformEarlyStoppingConsensus` — the
+  classic consensus (k = 1) instances.
+"""
+
+from .early_deciding import (
+    EarlyDecidingKSet,
+    EarlyStoppingConsensus,
+    UniformEarlyDecidingKSet,
+    UniformEarlyStoppingConsensus,
+    new_failures_perceived,
+)
+from .floodmin import FloodMin
+
+__all__ = [
+    "EarlyDecidingKSet",
+    "EarlyStoppingConsensus",
+    "FloodMin",
+    "UniformEarlyDecidingKSet",
+    "UniformEarlyStoppingConsensus",
+    "new_failures_perceived",
+]

@@ -1,0 +1,39 @@
+"""FloodMin: the classic worst-case-optimal k-set consensus protocol.
+
+FloodMin (Chaudhuri, Herlihy, Lynch, Tuttle — "Tight bounds for k-set
+agreement") has every process repeatedly broadcast the minimum value it has
+seen and decide on its current minimum at the end of round ``⌊t/k⌋ + 1``.
+That round count matches the worst-case lower bound, so FloodMin is
+*worst-case optimal*, but it never decides early: even in a failure-free run
+it takes the full ``⌊t/k⌋ + 1`` rounds.
+
+In this library FloodMin serves as the non-early-deciding baseline against
+which the early-deciding protocols (and, a fortiori, Optmin[k] and u-Pmin[k])
+are compared in the DOM benchmark.  Because all decisions happen at the same
+time, FloodMin satisfies *uniform* k-agreement as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.protocol import Protocol
+from ..model.run import RoundContext
+from ..model.types import Value
+
+
+class FloodMin(Protocol):
+    """FloodMin: decide ``Min<i, ⌊t/k⌋+1>`` at time ``⌊t/k⌋ + 1``, never earlier."""
+
+    name = "FloodMin"
+    uniform = True
+
+    def decide(self, ctx: RoundContext) -> Optional[Value]:
+        """Decide the current minimum exactly at the worst-case deadline."""
+        if ctx.time == ctx.t // self.k + 1:
+            return ctx.view.min_value()
+        return None
+
+    def max_decision_time(self, n: int, t: int) -> int:
+        """All processes decide exactly at ``⌊t/k⌋ + 1``."""
+        return t // self.k + 1

@@ -1,0 +1,187 @@
+"""Command-line interface: run, compare and reproduce without writing code.
+
+Installed as the ``repro-set-consensus`` console script (also runnable as
+``python -m repro.cli``).  Sub-commands:
+
+* ``run``      — execute one protocol against a random or figure adversary and
+  print the figure-style run rendering plus the specification check;
+* ``compare``  — decision-time statistics and domination verdicts for several
+  protocols over a random ensemble;
+* ``figure4``  — regenerate the paper's headline uniform-consensus comparison
+  for a chosen ``k`` and ``⌊t/k⌋``;
+* ``surgery``  — apply the Lemma 2 surgery on the Fig. 2 adversary and print
+  the verification outcome and the Lemma 3 confrontation.
+
+The CLI is a thin veneer over the library; every command prints exactly what
+the corresponding example/benchmark computes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .adversaries import (
+    AdversaryGenerator,
+    figure1_scenario,
+    figure2_scenario,
+    figure4_scenario,
+    lemma2_surgery,
+    verify_surgery,
+)
+from .analysis import collect, render_run, statistics_report
+from .baselines import EarlyDecidingKSet, FloodMin, UniformEarlyDecidingKSet
+from .core import Opt0, OptMin, UOpt0, UPMin
+from .model import Context, Run
+from .verification import (
+    check_run_for_protocol,
+    compare_protocols,
+    demonstrate_unbeatability_mechanism,
+)
+
+PROTOCOLS = {
+    "optmin": lambda k: OptMin(k),
+    "upmin": lambda k: UPMin(k),
+    "opt0": lambda k: Opt0(),
+    "uopt0": lambda k: UOpt0(),
+    "floodmin": lambda k: FloodMin(k),
+    "early": lambda k: EarlyDecidingKSet(k),
+    "uearly": lambda k: UniformEarlyDecidingKSet(k),
+}
+
+
+def _protocol(name: str, k: int):
+    try:
+        return PROTOCOLS[name](k)
+    except KeyError:
+        raise SystemExit(f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}")
+
+
+def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", type=int, default=7, help="number of processes (default 7)")
+    parser.add_argument("-t", type=int, default=4, help="crash bound (default 4)")
+    parser.add_argument("-k", type=int, default=2, help="agreement parameter (default 2)")
+    parser.add_argument("--seed", type=int, default=0, help="adversary generator seed")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    context = Context(n=args.n, t=args.t, k=args.k)
+    if args.scenario == "random":
+        adversary = AdversaryGenerator(context, seed=args.seed).random_adversary(args.failures)
+    elif args.scenario == "fig1":
+        scenario = figure1_scenario(chain_length=max(args.k, 2))
+        adversary, context = scenario.adversary, scenario.context
+    elif args.scenario == "fig2":
+        scenario = figure2_scenario(k=args.k, depth=2)
+        adversary, context = scenario.adversary, scenario.context
+    else:
+        scenario = figure4_scenario(k=max(args.k, 2), rounds=4)
+        adversary, context = scenario.adversary, scenario.context
+    protocol = _protocol(args.protocol, context.k)
+    run = Run(protocol, adversary, context.t)
+    print(render_run(run))
+    print()
+    for decision in run.decisions():
+        print(f"  {decision}")
+    violations = check_run_for_protocol(run)
+    print(f"\nspecification check: {'OK' if not violations else [str(v) for v in violations]}")
+    return 0 if not violations else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    context = Context(n=args.n, t=args.t, k=args.k)
+    adversaries = AdversaryGenerator(context, seed=args.seed).sample(args.samples)
+    protocols = [_protocol(name, args.k) for name in args.protocols]
+    print(statistics_report(collect(protocols, adversaries, context.t)))
+    print()
+    reference_pool = protocols[1:] or [FloodMin(args.k)]
+    for reference in reference_pool:
+        report = compare_protocols(protocols[0], reference, adversaries, context.t)
+        print(report.summary())
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    scenario = figure4_scenario(k=args.k, rounds=args.rounds)
+    t = scenario.context.t
+    print(
+        f"Fig. 4 adversary: n={scenario.adversary.n}, t=f={t}, deadline ⌊t/k⌋+1={t // args.k + 1}"
+    )
+    for name in ("upmin", "optmin", "uearly", "early", "floodmin"):
+        protocol = _protocol(name, args.k)
+        run = Run(protocol, scenario.adversary, t)
+        print(f"  {protocol.name:45s} last correct decision at time {run.last_decision_time()}")
+    return 0
+
+
+def cmd_surgery(args: argparse.Namespace) -> int:
+    scenario = figure2_scenario(k=args.k, depth=args.depth)
+    base = Run(None, scenario.adversary, scenario.context.t, horizon=args.depth)
+    result = lemma2_surgery(base, scenario.observer, args.depth, list(range(args.k)))
+    check = verify_surgery(base, result)
+    print("Lemma 2 surgery on the Fig. 2 adversary")
+    print(f"  chains: {[list(chain) for chain in result.chains]}")
+    print(f"  observer view preserved : {check.observer_view_preserved}")
+    print(f"  values delivered        : {check.values_delivered}")
+    print(f"  no foreign values       : {check.no_foreign_values}")
+    print(f"  residual capacity >= k-1: {check.residual_capacity}")
+    mechanism = demonstrate_unbeatability_mechanism(args.k, args.depth)
+    print("\nLemma 3 confrontation (can the observer be made to decide earlier?)")
+    print(f"  Optmin decides values {mechanism['optmin_decided_values']} — within k={args.k}")
+    print(
+        f"  eager attempt decides {mechanism['eager_decided_values']} — "
+        f"{len(mechanism['eager_violations'])} k-Agreement violation(s)"
+    )
+    return 0 if check.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-set-consensus",
+        description="Unbeatable set consensus (Castañeda–Gonczarowski–Moses 2016) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute one protocol against one adversary")
+    _add_context_arguments(run_parser)
+    run_parser.add_argument("--protocol", default="optmin", choices=sorted(PROTOCOLS))
+    run_parser.add_argument(
+        "--scenario", default="random", choices=["random", "fig1", "fig2", "fig4"]
+    )
+    run_parser.add_argument("--failures", type=int, default=None, help="exact number of crashes")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = subparsers.add_parser("compare", help="compare protocols over a random ensemble")
+    _add_context_arguments(compare_parser)
+    compare_parser.add_argument("--samples", type=int, default=100)
+    compare_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["optmin", "early", "floodmin"],
+        choices=sorted(PROTOCOLS),
+    )
+    compare_parser.set_defaults(func=cmd_compare)
+
+    figure4_parser = subparsers.add_parser("figure4", help="regenerate the Fig. 4 comparison")
+    figure4_parser.add_argument("-k", type=int, default=3)
+    figure4_parser.add_argument("--rounds", type=int, default=4, help="the adversary's ⌊t/k⌋")
+    figure4_parser.set_defaults(func=cmd_figure4)
+
+    surgery_parser = subparsers.add_parser("surgery", help="run the Lemma 2 surgery demonstration")
+    surgery_parser.add_argument("-k", type=int, default=3)
+    surgery_parser.add_argument("--depth", type=int, default=2)
+    surgery_parser.set_defaults(func=cmd_surgery)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

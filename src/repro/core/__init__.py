@@ -1,0 +1,25 @@
+"""The paper's primary contribution: Optmin[k], u-Pmin[k] and their k=1 anchors.
+
+* :class:`repro.core.optmin.OptMin` — unbeatable nonuniform k-set consensus
+  (Section 4, Theorems 1 and 2, Proposition 1).
+* :class:`repro.core.upmin.UPMin` — uniform k-set consensus beating all known
+  protocols (Section 5, Theorem 3, Conjecture 1).
+* :class:`repro.core.opt0.Opt0`, :class:`repro.core.opt0.UOpt0` — the 1-set
+  consensus protocols of CGM14 that the above generalise (Section 3).
+* :class:`repro.core.protocol.Protocol` — the decision-rule interface shared
+  with the baselines in :mod:`repro.baselines`.
+"""
+
+from .opt0 import Opt0, UOpt0
+from .optmin import OptMin, OptMinWithExplanation
+from .protocol import Protocol
+from .upmin import UPMin
+
+__all__ = [
+    "Opt0",
+    "OptMin",
+    "OptMinWithExplanation",
+    "Protocol",
+    "UOpt0",
+    "UPMin",
+]

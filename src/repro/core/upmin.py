@@ -1,0 +1,77 @@
+"""u-Pmin[k]: the fast uniform k-set consensus protocol (Section 5).
+
+Uniform k-set consensus counts the decisions of processes that later crash, so
+a process must make sure the value it decides on cannot "fade away" — i.e.
+that it will be known to every process that decides strictly later.  The paper
+therefore gates decisions on the *knows-persist* predicate of Definition 3 and
+arrives at::
+
+    Protocol u-Pmin[k] (for an undecided process i at time m):
+        if (i is low or HC<i,m> < k) and i knows that Min<i,m> will persist
+            then decide(Min<i,m>)
+        elif m > 0 and (<i,m-1> was low or HC<i,m-1> < k)
+            then decide(Min<i,m-1>)
+        elif m = ⌊t/k⌋ + 1
+            then decide(Min<i,m>)
+
+Properties proven in the paper and checked by this library:
+
+* **Theorem 3** — u-Pmin[k] solves uniform k-set consensus and all processes
+  decide by time ``min(⌊t/k⌋ + 1, ⌊f/k⌋ + 2)``.
+* u-Pmin[k] strictly dominates all previously known uniform k-set consensus
+  protocols; on the Fig. 4 adversary it decides at time 2 while they decide
+  only at time ``⌊t/k⌋ + 1``.
+* Whether u-Pmin[k] is unbeatable is the paper's Conjecture 1 (open).
+
+u-Pmin[1] coincides with the unbeatable uniform consensus protocol u-Opt0 of
+Castañeda–Gonczarowski–Moses 2014.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model.run import RoundContext
+from ..model.types import Value
+from .protocol import Protocol
+
+
+class UPMin(Protocol):
+    """The uniform k-set consensus protocol ``u-Pmin[k]``."""
+
+    name = "u-Pmin[k]"
+    uniform = True
+
+    def decide(self, ctx: RoundContext) -> Optional[Value]:
+        """The three-clause decision rule of Section 5 (see module docstring)."""
+        view = ctx.view
+        k = self.k
+
+        # Clause 1: the nonuniform decision condition holds *and* the value is
+        # known to persist, so deciding on it cannot violate uniformity.
+        if (view.is_low(k) or view.hidden_capacity() < k) and ctx.knows_persist(view.min_value()):
+            return view.min_value()
+
+        # Clause 2: the nonuniform condition held one round ago.  One round of
+        # flooding later, Min<i,m-1> is guaranteed to persist (everyone active
+        # now has received it from i), so it is safe to decide on it.  Note the
+        # decision is on the *previous* minimum: the current one may be a value
+        # i learned only this round, which is not yet guaranteed to persist.
+        previous = ctx.previous_view
+        if ctx.time > 0 and previous is not None:
+            if previous.is_low(k) or previous.hidden_capacity() < k:
+                return previous.min_value()
+
+        # Clause 3: the worst-case deadline ⌊t/k⌋ + 1 has been reached.
+        if ctx.time == ctx.t // k + 1:
+            return view.min_value()
+
+        return None
+
+    def max_decision_time(self, n: int, t: int) -> int:
+        """Theorem 3's bound with ``f = t``."""
+        return t // self.k + 1
+
+    def decision_bound(self, t: int, f: int) -> int:
+        """Theorem 3: every process decides by time ``min(⌊t/k⌋ + 1, ⌊f/k⌋ + 2)``."""
+        return min(t // self.k + 1, f // self.k + 2)

@@ -1,0 +1,21 @@
+"""The communication-efficient implementation of Appendix E (compact messages, bit accounting)."""
+
+from .compact import (
+    CompactComparison,
+    CompactMessage,
+    CompactSimulation,
+    bits_sent_per_channel,
+    compact_equals_fip,
+    compare_compact_to_fip,
+    nlogn_bound,
+)
+
+__all__ = [
+    "CompactComparison",
+    "CompactMessage",
+    "CompactSimulation",
+    "bits_sent_per_channel",
+    "compact_equals_fip",
+    "compare_compact_to_fip",
+    "nlogn_bound",
+]

@@ -1,0 +1,46 @@
+"""Hidden nodes, hidden paths, hidden capacity and epistemic operators.
+
+The combinatorial layer between the raw model (:mod:`repro.model`) and the
+protocols (:mod:`repro.core`): everything the paper builds on views — hidden
+capacity (Definition 2), hidden paths (Section 3), knowledge (Appendix A).
+"""
+
+from .hidden import (
+    capacity_profile,
+    classify_layer,
+    disjoint_hidden_chains,
+    first_time_capacity_below,
+    has_hidden_path,
+    hidden_capacity,
+    hidden_nodes_by_layer,
+    hidden_path,
+    witness_matrix,
+)
+from .operators import (
+    Fact,
+    System,
+    at_most_low_values_decided,
+    exists_value,
+    knowledge_of_precondition_holds,
+    no_correct_process_decides,
+    value_persists,
+)
+
+__all__ = [
+    "Fact",
+    "System",
+    "at_most_low_values_decided",
+    "capacity_profile",
+    "classify_layer",
+    "disjoint_hidden_chains",
+    "exists_value",
+    "first_time_capacity_below",
+    "has_hidden_path",
+    "hidden_capacity",
+    "hidden_nodes_by_layer",
+    "hidden_path",
+    "knowledge_of_precondition_holds",
+    "no_correct_process_decides",
+    "value_persists",
+    "witness_matrix",
+]

@@ -1,0 +1,187 @@
+"""Hidden nodes, hidden paths and hidden capacity (paper, Sections 3 and 4.1).
+
+The notion of a *hidden path* w.r.t. a node ``<i, m>`` — a sequence of nodes,
+one per layer ``0 .. m``, each hidden from ``<i, m>`` — was introduced in
+Castañeda–Gonczarowski–Moses 2014 and shown to be the exact obstruction to
+deciding in (1-set) consensus.  This paper generalises it to the *hidden
+capacity* ``HC<i, m>`` (Definition 2): the maximum ``c`` such that every layer
+``ℓ <= m`` contains at least ``c`` nodes hidden from ``<i, m>``.
+
+:class:`repro.model.view.View` already computes the per-layer hidden sets and
+the capacity itself; this module adds the *structural* notions built on top of
+them that the protocols, the Lemma 2 run surgery and the topological analysis
+need:
+
+* explicit hidden paths (sequences of process ids, one per layer);
+* disjoint systems of hidden paths witnessing a capacity of ``c`` — the
+  object Lemma 2 turns into an adversary in which ``c`` arbitrary values are
+  each carried by its own crash chain;
+* hidden-capacity profiles over time for whole runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.run import Run
+from ..model.types import ProcessId, ProcessTimeNode, Time
+from ..model.view import View
+
+
+def hidden_nodes_by_layer(view: View) -> List[Tuple[ProcessId, ...]]:
+    """The hidden processes of every layer ``0 .. m`` w.r.t. the view's node.
+
+    Returns a list indexed by layer; entry ``ℓ`` is the (sorted) tuple of
+    processes ``j`` such that ``<j, ℓ>`` is hidden from the observer.
+    """
+    return [tuple(sorted(view.hidden_processes_at(layer))) for layer in range(view.time + 1)]
+
+
+def hidden_capacity(view: View) -> int:
+    """``HC<i, m>`` — re-exported for symmetry with the paper's notation."""
+    return view.hidden_capacity()
+
+
+def has_hidden_path(view: View) -> bool:
+    """Whether a hidden path w.r.t. the observer exists (``HC >= 1``)."""
+    return view.hidden_capacity() >= 1
+
+
+def witness_matrix(view: View, capacity: Optional[int] = None) -> List[Tuple[ProcessId, ...]]:
+    """A matrix of witnesses to a hidden capacity of ``capacity``.
+
+    Row ``ℓ`` contains ``capacity`` distinct processes whose layer-``ℓ`` nodes
+    are hidden from the observer (Definition 2's witnesses ``i^ℓ_b``).  When
+    ``capacity`` is ``None``, the view's actual hidden capacity is used.
+
+    The selection is made deterministic *and* chain-friendly: within each
+    layer, processes that were already chosen in the previous layer are
+    preferred (ties broken by process id).  This produces witness columns
+    that, whenever possible, follow the same process across consecutive
+    layers, which makes the disjoint hidden chains constructed by
+    :func:`disjoint_hidden_chains` shorter and easier to read.  Any choice of
+    witnesses is equally valid for the paper's arguments.
+    """
+    if capacity is None:
+        capacity = view.hidden_capacity()
+    if capacity > view.hidden_capacity():
+        raise ValueError(
+            f"requested {capacity} witnesses per layer but the hidden capacity is only "
+            f"{view.hidden_capacity()}"
+        )
+    rows: List[Tuple[ProcessId, ...]] = []
+    previous: Tuple[ProcessId, ...] = ()
+    for layer in range(view.time + 1):
+        hidden = view.hidden_processes_at(layer)
+        carried = [p for p in previous if p in hidden]
+        fresh = sorted(hidden - set(carried))
+        chosen = (carried + fresh)[:capacity]
+        chosen_sorted = tuple(sorted(chosen))
+        rows.append(chosen_sorted)
+        previous = chosen_sorted
+    return rows
+
+
+def disjoint_hidden_chains(view: View, capacity: Optional[int] = None) -> List[List[ProcessId]]:
+    """``capacity`` disjoint "hidden chains", one process per layer per chain.
+
+    A *hidden chain* here is a sequence ``(i^0_b, i^1_b, .., i^m_b)`` of
+    processes, one per layer, all of whose layer nodes are hidden from the
+    observer, such that chains are pairwise disjoint within each layer.  These
+    are exactly the ``i^ℓ_b`` of Definition 2, arranged into the ``c`` columns
+    that Lemma 2 turns into ``c`` crash chains each carrying its own value.
+
+    Returns a list of ``capacity`` chains; chain ``b`` is a list of length
+    ``m+1`` giving the process at each layer.
+    """
+    rows = witness_matrix(view, capacity)
+    if not rows:
+        return []
+    c = len(rows[0])
+    # Column b of the witness matrix is chain b.  Within each layer the
+    # witnesses are distinct, which is all Lemma 2 requires; to keep chains as
+    # "straight" as possible we greedily match each layer's witnesses to the
+    # previous layer's chains by process identity.
+    chains: List[List[ProcessId]] = [[rows[0][b]] for b in range(c)]
+    for layer in range(1, len(rows)):
+        available = list(rows[layer])
+        assignment: Dict[int, ProcessId] = {}
+        # First pass: keep the same process when it is still a witness.
+        for b in range(c):
+            last = chains[b][-1]
+            if last in available:
+                assignment[b] = last
+                available.remove(last)
+        # Second pass: hand out the remaining witnesses in order.
+        for b in range(c):
+            if b not in assignment:
+                assignment[b] = available.pop(0)
+        for b in range(c):
+            chains[b].append(assignment[b])
+    return chains
+
+
+def hidden_path(view: View) -> Optional[List[ProcessId]]:
+    """A single hidden path w.r.t. the observer, or ``None`` if none exists.
+
+    This is the ``k = 1`` specialisation used by the Opt0 analysis (Section 3,
+    Fig. 1): a sequence of processes, one per layer ``0 .. m``, whose layer
+    nodes are all hidden from ``<i, m>``.
+    """
+    if view.hidden_capacity() < 1:
+        return None
+    return disjoint_hidden_chains(view, 1)[0]
+
+
+def capacity_profile(run: Run, process: ProcessId) -> List[int]:
+    """The hidden capacity of ``process`` at every time it is active in ``run``.
+
+    Remark 1 of the paper notes that the hidden capacity of a process is
+    weakly decreasing over time; the property tests assert this on the
+    profiles returned here.
+    """
+    profile: List[int] = []
+    time = 0
+    while run.has_view(process, time):
+        profile.append(run.view(process, time).hidden_capacity())
+        time += 1
+    return profile
+
+
+def first_time_capacity_below(run: Run, process: ProcessId, k: int) -> Optional[Time]:
+    """The first time at which ``process``'s hidden capacity drops below ``k``.
+
+    Returns ``None`` if that never happens within the simulated horizon (in
+    particular for processes that crash while still maintaining capacity
+    ``>= k``).
+    """
+    time = 0
+    while run.has_view(process, time):
+        if run.view(process, time).hidden_capacity() < k:
+            return time
+        time += 1
+    return None
+
+
+def classify_layer(view: View, layer: Time) -> Dict[str, Tuple[ProcessId, ...]]:
+    """Partition the processes of a layer into seen / guaranteed-crashed / hidden.
+
+    Useful for rendering figures and for tests that cross-check the three
+    categories are a partition (every node is in exactly one of them).
+    """
+    seen: List[ProcessId] = []
+    crashed: List[ProcessId] = []
+    hidden: List[ProcessId] = []
+    for j in range(view.n):
+        node = ProcessTimeNode(j, layer)
+        if view.is_seen(node):
+            seen.append(j)
+        elif view.is_guaranteed_crashed(node):
+            crashed.append(j)
+        else:
+            hidden.append(j)
+    return {
+        "seen": tuple(seen),
+        "crashed": tuple(crashed),
+        "hidden": tuple(hidden),
+    }

@@ -1,0 +1,149 @@
+"""Epistemic operators over systems of runs (paper, Appendix A).
+
+The paper's protocol design is guided by a knowledge-based analysis: a fact
+``A`` is *known* by process ``i`` at a point ``(r, m)`` of a system ``R`` iff
+``A`` holds at every point ``(r', m)`` of ``R`` in which ``i`` has the same
+local state (Definition 4).  The *Knowledge of Preconditions* principle
+(Theorem 4) then says that if ``A`` is a necessary condition for an action,
+``K_i A`` is a necessary condition for ``i`` performing it.
+
+This module implements that semantics literally, for finite systems of runs
+(all runs of a protocol over an enumerated or sampled adversary family).  It
+is not used by the protocols themselves — they evaluate the *local* proxies
+(``seen v``, hidden capacity, persistence) that the paper proves equivalent to
+the relevant knowledge — but it is used by tests to validate those
+equivalences on small systems, closing the loop between the epistemic
+definitions and the combinatorial decision rules:
+
+* ``K_i ∃v``  ⇔  ``i`` has seen ``v``  (full-information exchange);
+* ``i`` can decide high  ⇔  ``K_i``("at most ``k-1`` low values will ever be
+  decided by correct processes")  ⇔  ``HC<i,m> < k`` for a high ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..model.run import Run
+from ..model.types import ProcessId, Time, Value
+from ..model.view import View
+
+
+#: A fact is any predicate over a point ``(run, time)`` of the system.
+Fact = Callable[[Run, Time], bool]
+
+
+class System:
+    """A finite system ``R`` of runs of a single protocol over a context.
+
+    The system groups points by local state so that the knowledge operator of
+    Definition 4 can be evaluated by direct quantification.
+    """
+
+    def __init__(self, runs: Sequence[Run]) -> None:
+        if not runs:
+            raise ValueError("a system must contain at least one run")
+        self._runs: Tuple[Run, ...] = tuple(runs)
+        # Index: (process, time, local-state) -> list of run indices having
+        # that local state at that point.
+        self._index: Dict[Tuple[ProcessId, Time, View], List[int]] = {}
+        for idx, run in enumerate(self._runs):
+            for (process, time), view in self._iter_views(run):
+                self._index.setdefault((process, time, view), []).append(idx)
+
+    @staticmethod
+    def _iter_views(run: Run):
+        for time in range(run.horizon + 1):
+            for process, view in run.views_at(time).items():
+                yield (process, time), view
+
+    @property
+    def runs(self) -> Tuple[Run, ...]:
+        """The runs of the system."""
+        return self._runs
+
+    def indistinguishable_runs(self, run: Run, process: ProcessId, time: Time) -> List[Run]:
+        """All runs of the system in which ``process`` has the same local state at ``time``.
+
+        The given run itself is included (knowledge is reflexive).  Raises if
+        ``process`` has no local state at ``time`` in ``run`` or if the run is
+        not part of the system.
+        """
+        view = run.view(process, time)
+        key = (process, time, view)
+        if key not in self._index:
+            raise ValueError("the given point does not belong to this system")
+        return [self._runs[idx] for idx in self._index[key]]
+
+    def knows(self, fact: Fact, run: Run, process: ProcessId, time: Time) -> bool:
+        """Definition 4: ``K_i fact`` at the point ``(run, time)``."""
+        return all(
+            fact(other, time) for other in self.indistinguishable_runs(run, process, time)
+        )
+
+    def fact_holds(self, fact: Fact, run: Run, time: Time) -> bool:
+        """Evaluate a fact directly at a point (no knowledge operator)."""
+        return fact(run, time)
+
+
+# --------------------------------------------------------------------- facts
+def exists_value(value: Value) -> Fact:
+    """The fact ``∃value``: some process started with initial value ``value``."""
+
+    def fact(run: Run, _time: Time) -> bool:
+        return value in run.adversary.value_set()
+
+    return fact
+
+
+def no_correct_process_decides(value: Value) -> Fact:
+    """The fact "no correct process ever decides ``value``" (used in the Opt0 analysis)."""
+
+    def fact(run: Run, _time: Time) -> bool:
+        return value not in run.decided_values(correct_only=True)
+
+    return fact
+
+
+def at_most_low_values_decided(k: int) -> Fact:
+    """The fact "at most ``k-1`` values smaller than ``k`` are decided by correct processes"."""
+
+    def fact(run: Run, _time: Time) -> bool:
+        low_decided = {v for v in run.decided_values(correct_only=True) if v < k}
+        return len(low_decided) <= k - 1
+
+    return fact
+
+
+def value_persists(value: Value) -> Fact:
+    """The fact "every process active at the next time knows ``∃value``" (Definition 3's target)."""
+
+    def fact(run: Run, time: Time) -> bool:
+        next_views = run.views_at(time + 1)
+        if not next_views:
+            return True
+        return all(view.knows_value(value) for view in next_views.values())
+
+    return fact
+
+
+def knowledge_of_precondition_holds(
+    system: System,
+    fact: Fact,
+    decision_value: Value,
+) -> bool:
+    """Check Theorem 4 (Knowledge of Preconditions) on a finite system.
+
+    For every run of the system and every process that decides
+    ``decision_value`` at some time ``m``, verify that the process *knows*
+    ``fact`` at ``m``.  Returns ``True`` iff the principle holds throughout
+    the system; tests use it with ``fact = exists_value(v)`` to validate the
+    Validity analysis of Section 3.
+    """
+    for run in system.runs:
+        for decision in run.decisions():
+            if decision.value != decision_value:
+                continue
+            if not system.knows(fact, run, decision.process, decision.time):
+                return False
+    return True

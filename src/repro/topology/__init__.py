@@ -1,0 +1,69 @@
+"""Combinatorial-topology substrate: complexes, subdivisions, Sperner, protocol complexes.
+
+The machinery behind the paper's topological unbeatability proof (Appendix
+B.1) and Proposition 2's connectivity statement.
+"""
+
+from .complexes import (
+    SimplicialComplex,
+    boundary_of_simplex,
+    full_simplex,
+    simplex,
+    sphere_complex,
+)
+from .connectivity import (
+    connectivity_profile,
+    euler_characteristic,
+    is_homologically_q_connected,
+    reduced_betti_numbers,
+    simplices_by_dimension,
+)
+from .protocol_complex import (
+    ProtocolComplex,
+    build_protocol_complex,
+    build_restricted_complex,
+    per_round_crash_patterns,
+)
+from .sperner import (
+    census,
+    coloring_from_decisions,
+    first_vertex_coloring,
+    fully_colored_simplices,
+    is_sperner_coloring,
+    random_sperner_coloring,
+    sperner_lemma_holds,
+)
+from .subdivision import (
+    SubdividedSimplex,
+    barycentric_subdivision,
+    count_top_simplices,
+    paper_subdivision,
+)
+
+__all__ = [
+    "ProtocolComplex",
+    "SimplicialComplex",
+    "SubdividedSimplex",
+    "barycentric_subdivision",
+    "boundary_of_simplex",
+    "build_protocol_complex",
+    "build_restricted_complex",
+    "census",
+    "coloring_from_decisions",
+    "connectivity_profile",
+    "count_top_simplices",
+    "euler_characteristic",
+    "first_vertex_coloring",
+    "full_simplex",
+    "fully_colored_simplices",
+    "is_homologically_q_connected",
+    "is_sperner_coloring",
+    "paper_subdivision",
+    "per_round_crash_patterns",
+    "random_sperner_coloring",
+    "reduced_betti_numbers",
+    "simplex",
+    "simplices_by_dimension",
+    "sperner_lemma_holds",
+    "sphere_complex",
+]

@@ -1,0 +1,193 @@
+"""Abstract simplicial complexes (paper, Appendix B.1.1).
+
+A *complex* is a finite vertex set together with a collection of subsets
+(simplexes) closed under containment.  The paper's topological proof of
+Lemma 1 and Proposition 2 reason about:
+
+* the **star** ``St(v, K)`` of a vertex — every simplex containing ``v``,
+  together with all faces of such simplexes;
+* the **join** ``K * L`` of two disjoint complexes;
+* **subdivisions** of a simplex and **Sperner colorings** of them
+  (see :mod:`repro.topology.subdivision` and :mod:`repro.topology.sperner`);
+* connectivity of subcomplexes of the protocol complex
+  (see :mod:`repro.topology.connectivity`).
+
+The representation below stores the maximal simplexes (facets) explicitly and
+derives everything else; vertices may be arbitrary hashable objects, which is
+convenient because protocol-complex vertices are ``(process, view)`` pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Vertex = Hashable
+Simplex = FrozenSet[Vertex]
+
+
+def simplex(*vertices: Vertex) -> Simplex:
+    """Convenience constructor for a simplex from its vertices."""
+    return frozenset(vertices)
+
+
+class SimplicialComplex:
+    """A finite abstract simplicial complex.
+
+    The complex is defined by a set of generating simplexes; all of their
+    faces (including the empty simplex, which is kept implicit) belong to the
+    complex.  Construction normalises the generators to the facets (maximal
+    simplexes).
+    """
+
+    def __init__(self, simplexes: Iterable[Iterable[Vertex]] = ()) -> None:
+        candidates: List[Simplex] = [frozenset(s) for s in simplexes]
+        candidates = [s for s in candidates if s]
+        # Keep only the maximal simplexes.
+        facets: List[Simplex] = []
+        for s in sorted(candidates, key=len, reverse=True):
+            if not any(s < other or s == other for other in facets):
+                facets.append(s)
+        self._facets: Tuple[Simplex, ...] = tuple(facets)
+        self._vertices: FrozenSet[Vertex] = frozenset(v for s in facets for v in s)
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def facets(self) -> Tuple[Simplex, ...]:
+        """The maximal simplexes of the complex."""
+        return self._facets
+
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        """The vertex set."""
+        return self._vertices
+
+    def is_empty(self) -> bool:
+        """Whether the complex has no simplexes at all."""
+        return not self._facets
+
+    @property
+    def dimension(self) -> int:
+        """``dim K``: the maximal dimension of any simplex (-1 for the empty complex)."""
+        return max((len(s) - 1 for s in self._facets), default=-1)
+
+    def is_pure(self) -> bool:
+        """Whether all facets have the same dimension."""
+        dims = {len(s) for s in self._facets}
+        return len(dims) <= 1
+
+    def simplices(self, dimension: Optional[int] = None) -> Set[Simplex]:
+        """All simplexes (of the given dimension, or of every dimension)."""
+        out: Set[Simplex] = set()
+        for facet in self._facets:
+            if dimension is None:
+                for size in range(1, len(facet) + 1):
+                    out.update(frozenset(c) for c in itertools.combinations(facet, size))
+            else:
+                size = dimension + 1
+                if size <= len(facet):
+                    out.update(frozenset(c) for c in itertools.combinations(facet, size))
+        return out
+
+    def contains(self, candidate: Iterable[Vertex]) -> bool:
+        """Whether the given vertex set is a simplex of the complex."""
+        s = frozenset(candidate)
+        if not s:
+            return True
+        return any(s <= facet for facet in self._facets)
+
+    def __contains__(self, candidate: Iterable[Vertex]) -> bool:
+        return self.contains(candidate)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimplicialComplex):
+            return NotImplemented
+        return set(self._facets) == set(other._facets)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._facets))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimplicialComplex(|V|={len(self._vertices)}, facets={len(self._facets)}, "
+            f"dim={self.dimension})"
+        )
+
+    # ------------------------------------------------------------ operations
+    def star(self, vertex: Vertex) -> "SimplicialComplex":
+        """``St(v, K)``: all simplexes containing ``v`` and their faces."""
+        return SimplicialComplex(s for s in self._facets if vertex in s)
+
+    def link(self, vertex: Vertex) -> "SimplicialComplex":
+        """``Lk(v, K)``: faces of star simplexes that do not contain ``v``."""
+        return SimplicialComplex(
+            s - {vertex} for s in self._facets if vertex in s and len(s) > 1
+        )
+
+    def induced(self, vertices: Iterable[Vertex]) -> "SimplicialComplex":
+        """The full subcomplex induced by a vertex subset."""
+        keep = frozenset(vertices)
+        return SimplicialComplex(
+            facet & keep for facet in self._facets if facet & keep
+        )
+
+    def skeleton(self, dimension: int) -> "SimplicialComplex":
+        """The ``dimension``-skeleton: all simplexes of dimension at most ``dimension``."""
+        if dimension < 0:
+            return SimplicialComplex()
+        out: Set[Simplex] = set()
+        for facet in self._facets:
+            if len(facet) - 1 <= dimension:
+                out.add(facet)
+            else:
+                out.update(
+                    frozenset(c) for c in itertools.combinations(facet, dimension + 1)
+                )
+        return SimplicialComplex(out)
+
+    def join(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        """``K * L``: the join of two vertex-disjoint complexes."""
+        if self._vertices & other._vertices:
+            raise ValueError("join requires vertex-disjoint complexes")
+        if self.is_empty():
+            return SimplicialComplex(other._facets)
+        if other.is_empty():
+            return SimplicialComplex(self._facets)
+        return SimplicialComplex(
+            a | b for a in self._facets for b in other._facets
+        )
+
+    def boundary_complex(self) -> "SimplicialComplex":
+        """``Bd σ`` generalised: the complex of all proper faces of the facets."""
+        out: Set[Simplex] = set()
+        for facet in self._facets:
+            for size in range(1, len(facet)):
+                out.update(frozenset(c) for c in itertools.combinations(facet, size))
+        return SimplicialComplex(out)
+
+    def facet_count_by_dimension(self) -> Dict[int, int]:
+        """Histogram of facet dimensions (useful for diagnostics)."""
+        histogram: Dict[int, int] = {}
+        for facet in self._facets:
+            dim = len(facet) - 1
+            histogram[dim] = histogram.get(dim, 0) + 1
+        return histogram
+
+
+def full_simplex(vertices: Iterable[Vertex]) -> SimplicialComplex:
+    """The full simplex on the given vertices (all subsets are simplexes)."""
+    return SimplicialComplex([frozenset(vertices)])
+
+
+def boundary_of_simplex(vertices: Iterable[Vertex]) -> SimplicialComplex:
+    """``Bd σ``: all proper faces of the simplex on the given vertices."""
+    return full_simplex(vertices).boundary_complex()
+
+
+def sphere_complex(dimension: int) -> SimplicialComplex:
+    """The boundary of a ``(dimension+1)``-simplex: a combinatorial ``dimension``-sphere.
+
+    Handy as a known non-contractible test space for the homology code
+    (its reduced homology is trivial except in degree ``dimension``).
+    """
+    return boundary_of_simplex(range(dimension + 2))

@@ -1,0 +1,148 @@
+"""Connectivity of simplicial complexes via GF(2) simplicial homology.
+
+Proposition 2 of the paper relates the hidden capacity of a node to the
+``(k-1)``-connectivity of its star complex inside the protocol complex.
+Topological ``q``-connectivity (vanishing homotopy groups up to dimension
+``q``) is not decidable in general, but the standard computable proxy used
+throughout the distributed-computing lower-bound literature is the vanishing
+of *reduced homology* in dimensions ``0 .. q`` — a necessary condition for
+``q``-connectivity, and the condition that the Sperner/index arguments
+actually consume.
+
+This module computes reduced Betti numbers over GF(2) (boundary-matrix ranks
+via bitset Gaussian elimination — no external dependencies and exact
+arithmetic) and exposes:
+
+* :func:`reduced_betti_numbers` — the reduced GF(2) Betti numbers ``b̃_0 .. b̃_d``;
+* :func:`is_homologically_q_connected` — the proxy connectivity test;
+* :func:`connectivity_profile` — the largest ``q`` for which the proxy holds.
+
+The substitution (homology proxy instead of true connectivity) is recorded in
+DESIGN.md §2 and EXPERIMENTS.md (PROP2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from .complexes import SimplicialComplex, Simplex
+
+
+def _gf2_rank(rows: List[int]) -> int:
+    """Rank of a GF(2) matrix whose rows are given as Python integers (bitsets).
+
+    Incremental Gaussian elimination: maintain one pivot row per leading-bit
+    position; a new row is reduced against existing pivots and either becomes
+    a new pivot (raising the rank) or vanishes (linearly dependent).
+    """
+    pivots: Dict[int, int] = {}
+    rank = 0
+    for row in rows:
+        current = row
+        while current:
+            lead = current.bit_length() - 1
+            pivot = pivots.get(lead)
+            if pivot is None:
+                pivots[lead] = current
+                rank += 1
+                break
+            current ^= pivot
+    return rank
+
+
+def _boundary_rank(
+    lower: Sequence[Simplex], upper: Sequence[Simplex]
+) -> int:
+    """Rank over GF(2) of the boundary map from ``upper`` simplexes to ``lower`` ones."""
+    if not upper or not lower:
+        return 0
+    index_of = {simplex: i for i, simplex in enumerate(lower)}
+    rows: List[int] = []
+    for simplex in upper:
+        row = 0
+        for vertex in simplex:
+            face = simplex - {vertex}
+            position = index_of.get(face)
+            if position is not None:
+                row |= 1 << position
+        rows.append(row)
+    return _gf2_rank(rows)
+
+
+def simplices_by_dimension(complex_: SimplicialComplex) -> Dict[int, List[Simplex]]:
+    """All simplexes of the complex grouped (and deterministically ordered) by dimension."""
+    grouped: Dict[int, List[Simplex]] = {}
+    for simplex in complex_.simplices():
+        grouped.setdefault(len(simplex) - 1, []).append(simplex)
+    for dim in grouped:
+        grouped[dim].sort(key=lambda s: tuple(sorted(map(repr, s))))
+    return grouped
+
+
+def reduced_betti_numbers(complex_: SimplicialComplex, max_dimension: int | None = None) -> List[int]:
+    """Reduced GF(2) Betti numbers ``b̃_0 .. b̃_D`` of the complex.
+
+    ``D`` defaults to the complex's dimension.  The empty complex has no
+    Betti numbers (an empty list is returned).
+    """
+    if complex_.is_empty():
+        return []
+    grouped = simplices_by_dimension(complex_)
+    top = complex_.dimension if max_dimension is None else min(max_dimension, complex_.dimension)
+    betti: List[int] = []
+    for q in range(top + 1):
+        current = grouped.get(q, [])
+        below = grouped.get(q - 1, [])
+        above = grouped.get(q + 1, [])
+        n_q = len(current)
+        if q == 0:
+            # Augmented boundary: every vertex maps to the generator of C_{-1}.
+            rank_down = 1 if n_q > 0 else 0
+        else:
+            rank_down = _boundary_rank(below, current)
+        rank_up = _boundary_rank(current, above)
+        betti.append(n_q - rank_down - rank_up)
+    return betti
+
+
+def is_homologically_q_connected(complex_: SimplicialComplex, q: int) -> bool:
+    """The homological proxy for ``q``-connectivity.
+
+    ``True`` iff the complex is non-empty and its reduced GF(2) homology
+    vanishes in every dimension ``0 .. q``.  For ``q = -1`` this is just
+    non-emptiness (the usual convention); for ``q = 0`` it coincides with
+    path-connectedness.
+    """
+    if complex_.is_empty():
+        return False
+    if q < 0:
+        return True
+    betti = reduced_betti_numbers(complex_, max_dimension=q)
+    # Dimensions above the complex's own dimension contribute nothing.
+    return all(b == 0 for b in betti[: q + 1])
+
+
+def connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) -> int:
+    """The largest ``q`` (up to ``max_q``) for which the homological proxy holds.
+
+    Returns ``-2`` for the empty complex, ``-1`` for a non-empty but
+    disconnected complex, and otherwise the largest ``q`` with vanishing
+    reduced homology through dimension ``q``.
+    """
+    if complex_.is_empty():
+        return -2
+    limit = complex_.dimension if max_q is None else max_q
+    level = -1
+    for q in range(limit + 1):
+        if is_homologically_q_connected(complex_, q):
+            level = q
+        else:
+            break
+    return level
+
+
+def euler_characteristic(complex_: SimplicialComplex) -> int:
+    """The Euler characteristic (a cheap cross-check for the homology code)."""
+    grouped = simplices_by_dimension(complex_)
+    return sum(((-1) ** dim) * len(simplices) for dim, simplices in grouped.items())

@@ -1,0 +1,165 @@
+"""Protocol complexes and star complexes for the synchronous crash model.
+
+The ``m``-round *protocol complex* ``P_m`` of the full-information protocol
+contains one vertex per reachable local state ``(process, view at time m)``
+and one facet per execution: the set of final local states of the processes
+that are still active at time ``m`` in that execution.  Two executions share
+a vertex exactly when some process cannot distinguish them — which is what
+makes connectivity of (sub)complexes of ``P_m`` the right vehicle for
+indistinguishability arguments.
+
+The paper's novel observation (Section 4.3, Proposition 2) is that for
+*local* optimality questions the right object is not the whole complex but
+the **star complex** ``St(<i, m>, P_m)`` of the deciding node — the part of
+``P_m`` consisting of the executions that ``<i, m>`` cannot distinguish from
+the actual one.  Proposition 2: if ``<i, m>`` has hidden capacity at least
+``k`` in every round, then its star complex is ``(k-1)``-connected.
+
+Exhaustive protocol complexes are only tractable for small systems, which is
+all Proposition 2's illustration needs.  The builders below take either an
+explicit adversary family or the standard restricted family "at most ``k``
+crashes per round" used by the lower-bound literature ([15, 22]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.adversary import Adversary, Context
+from ..model.failure_pattern import CrashEvent, FailurePattern
+from ..model.run import Run
+from ..model.types import ProcessId, Time, Value
+from ..model.view import view_key
+from .complexes import SimplicialComplex
+
+#: A protocol-complex vertex: (process, canonical view key).
+ComplexVertex = Tuple[ProcessId, tuple]
+
+
+@dataclass(frozen=True)
+class ProtocolComplex:
+    """The ``m``-round protocol complex over an adversary family.
+
+    Attributes
+    ----------
+    complex:
+        The underlying simplicial complex (vertices are ``(process, view key)``).
+    time:
+        The round count ``m``.
+    vertex_views:
+        For every vertex, one representative ``(adversary, process)`` pair
+        realising that local state (useful for mapping topological findings
+        back to executions).
+    """
+
+    complex: SimplicialComplex
+    time: Time
+    vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]]
+
+    def star_of(self, adversary: Adversary, process: ProcessId, t: int) -> SimplicialComplex:
+        """The star complex of the vertex realised by ``process`` in ``adversary``'s run."""
+        run = Run(None, adversary, t, horizon=self.time)
+        vertex = (process, view_key(run.view(process, self.time)))
+        return self.complex.star(vertex)
+
+    def vertex_of(self, adversary: Adversary, process: ProcessId, t: int) -> ComplexVertex:
+        """The complex vertex corresponding to ``process``'s state at time ``m`` in the run."""
+        run = Run(None, adversary, t, horizon=self.time)
+        return (process, view_key(run.view(process, self.time)))
+
+
+def build_protocol_complex(
+    adversaries: Iterable[Adversary],
+    time: Time,
+    t: int,
+) -> ProtocolComplex:
+    """Build the ``time``-round protocol complex over an explicit adversary family.
+
+    Every adversary contributes the facet consisting of the local states at
+    ``time`` of its processes that are still active at ``time``.
+    """
+    facets: List[FrozenSet[ComplexVertex]] = []
+    vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
+    for adversary in adversaries:
+        run = Run(None, adversary, t, horizon=time)
+        vertices = []
+        for process, view in run.views_at(time).items():
+            vertex = (process, view_key(view))
+            vertices.append(vertex)
+            vertex_views.setdefault(vertex, (adversary, process))
+        if vertices:
+            facets.append(frozenset(vertices))
+    return ProtocolComplex(SimplicialComplex(facets), time, vertex_views)
+
+
+def per_round_crash_patterns(
+    n: int,
+    rounds: int,
+    max_crashes_per_round: int,
+    receiver_policy: str = "canonical",
+) -> Iterator[FailurePattern]:
+    """Failure patterns with at most ``max_crashes_per_round`` crashes in each round.
+
+    This is the adversary family used by the topological lower-bound
+    literature for k-set consensus ([15, 22]) and the family over which
+    Proposition 2's illustration builds its protocol complexes.  The receiver
+    policy has the same meaning as in
+    :func:`repro.adversaries.enumeration.enumerate_failure_patterns`.
+    """
+    from ..adversaries.enumeration import _receiver_subsets
+
+    def patterns_for_round(available: Tuple[ProcessId, ...], round_: int) -> Iterator[Tuple[CrashEvent, ...]]:
+        for count in range(min(max_crashes_per_round, len(available)) + 1):
+            for crashers in itertools.combinations(available, count):
+                receiver_choices = [
+                    list(_receiver_subsets(n, p, receiver_policy)) for p in crashers
+                ]
+                for receivers in itertools.product(*receiver_choices):
+                    yield tuple(
+                        CrashEvent(p, round_, r) for p, r in zip(crashers, receivers)
+                    )
+
+    def rec(round_: int, available: Tuple[ProcessId, ...], acc: Tuple[CrashEvent, ...]) -> Iterator[FailurePattern]:
+        if round_ > rounds:
+            if len(acc) <= n - 1:
+                yield FailurePattern(n, acc)
+            return
+        for events in patterns_for_round(available, round_):
+            crashed = {e.process for e in events}
+            if len(acc) + len(events) > n - 1:
+                continue
+            yield from rec(
+                round_ + 1,
+                tuple(p for p in available if p not in crashed),
+                acc + events,
+            )
+
+    yield from rec(1, tuple(range(n)), ())
+
+
+def build_restricted_complex(
+    context: Context,
+    time: Time,
+    values: Optional[Sequence[Value]] = None,
+    max_crashes_per_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+) -> ProtocolComplex:
+    """The ``time``-round protocol complex over "at most ``k`` crashes per round" adversaries.
+
+    ``values`` fixes the input vector (the complex factorises over inputs, and
+    for connectivity questions the inputs are irrelevant); it defaults to
+    everyone starting with ``k``.
+    """
+    k = context.k if max_crashes_per_round is None else max_crashes_per_round
+    if values is None:
+        values = [context.k] * context.n
+    adversaries = (
+        Adversary(values, pattern)
+        for pattern in per_round_crash_patterns(
+            context.n, time, k, receiver_policy
+        )
+        if pattern.num_failures <= context.t
+    )
+    return build_protocol_complex(adversaries, time, context.t)

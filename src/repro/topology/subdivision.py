@@ -1,0 +1,169 @@
+"""Subdivisions of a simplex: barycentric and the paper's ``Div σ`` variant.
+
+Appendix B.1.1 defines subdivisions combinatorially.  The barycentric
+subdivision ``Bary σ`` introduces one new vertex per face and cones it over
+the subdivided boundary of that face; its simplexes correspond to chains of
+faces ordered by inclusion.  The paper's topological proof of Lemma 1 uses a
+*variant* ``Div σ`` (Fig. 5) that only subdivides the faces containing the
+distinguished vertex ``k`` (and is the identity elsewhere), so that the
+subdivision's vertices can be mapped to the process states arising when
+subsets of the processes ``i_0 .. i_{k-1}`` crash in the last round.
+
+Both subdivisions are represented with vertices that are frozensets of
+original vertices: the original vertex ``x`` appears as ``frozenset({x})``
+and the new vertex introduced for a face ``σ'`` appears as ``frozenset(σ')``.
+The *carrier* of a subdivision vertex is therefore simply the face it is a
+subset of — which makes the Sperner-coloring condition (each vertex coloured
+by an element of its carrier) immediate to check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from .complexes import SimplicialComplex, Simplex
+
+#: A vertex of a subdivision: the set of original vertices it "averages".
+SubdivisionVertex = FrozenSet[Hashable]
+
+
+def _chains_of_faces(faces: Sequence[FrozenSet], length: int) -> Iterable[Tuple[FrozenSet, ...]]:
+    """All strictly increasing (by inclusion) chains of the given length."""
+    for combo in itertools.permutations(faces, length):
+        if all(combo[i] < combo[i + 1] for i in range(length - 1)):
+            yield combo
+
+
+class SubdividedSimplex:
+    """A subdivision of the simplex on ``base_vertices``.
+
+    Attributes
+    ----------
+    base_vertices:
+        The original vertices of ``σ``.
+    complex:
+        The subdivision as a :class:`SimplicialComplex` whose vertices are
+        frozensets of original vertices.
+    """
+
+    def __init__(self, base_vertices: Sequence[Hashable], complex_: SimplicialComplex) -> None:
+        self.base_vertices: Tuple[Hashable, ...] = tuple(base_vertices)
+        self.complex = complex_
+
+    @property
+    def dimension(self) -> int:
+        """The dimension of the subdivided simplex."""
+        return len(self.base_vertices) - 1
+
+    def carrier(self, vertex: SubdivisionVertex) -> FrozenSet[Hashable]:
+        """``Car v``: the smallest face of ``σ`` containing the subdivision vertex."""
+        if not vertex <= frozenset(self.base_vertices):
+            raise ValueError(f"{set(vertex)} is not contained in the base simplex")
+        return frozenset(vertex)
+
+    def vertices(self) -> Set[SubdivisionVertex]:
+        """All subdivision vertices."""
+        return set(self.complex.vertices)
+
+    def top_simplices(self) -> List[Simplex]:
+        """The top-dimensional simplexes of the subdivision."""
+        dim = self.dimension
+        return [facet for facet in self.complex.facets if len(facet) - 1 == dim]
+
+    def is_valid_subdivision(self) -> bool:
+        """Structural sanity: pure of the right dimension and carrier-consistent."""
+        if self.complex.dimension != self.dimension:
+            return False
+        top = self.top_simplices()
+        if not top:
+            return False
+        for facet in self.complex.facets:
+            if len(facet) - 1 != self.dimension:
+                return False
+        for vertex in self.complex.vertices:
+            if not vertex <= frozenset(self.base_vertices):
+                return False
+        return True
+
+
+def barycentric_subdivision(base_vertices: Sequence[Hashable]) -> SubdividedSimplex:
+    """The barycentric subdivision ``Bary σ``.
+
+    Vertices are the non-empty faces of ``σ`` (as frozensets) and simplexes
+    are the chains of faces totally ordered by inclusion; the facets are the
+    maximal chains, one per permutation of the original vertices.
+    """
+    base = [frozenset({v}) for v in base_vertices]
+    n = len(base_vertices)
+    facets: List[Simplex] = []
+    for order in itertools.permutations(base_vertices):
+        chain = [frozenset(order[: i + 1]) for i in range(n)]
+        facets.append(frozenset(chain))
+    return SubdividedSimplex(base_vertices, SimplicialComplex(facets))
+
+
+def paper_subdivision(k: int) -> SubdividedSimplex:
+    """The paper's ``Div σ`` for ``σ = {0, 1, .., k}`` (Appendix B.1.2, Fig. 5).
+
+    Construction (a variant of the barycentric subdivision, built inductively
+    by dimension):
+
+    * every original vertex is kept;
+    * a face ``σ'`` is subdivided only if it contains the distinguished vertex
+      ``k`` and has dimension ``>= 1``, with the exception of the edge
+      ``{0, k}`` which is also left alone; subdividing introduces the new
+      vertex ``v = σ'`` and forms the cone ``v * Div(Bd σ')``;
+    * faces not containing ``k`` are left undivided.
+
+    The resulting vertices are exactly the original vertices plus one vertex
+    per subdivided face, and the carrier of the new vertex ``σ'`` is ``σ'``
+    itself — which is what lets the proof map it to the state of a process
+    ``j_y`` (``y = dim σ'``) that received messages from exactly the crashers
+    indexed by ``σ'``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    sigma = tuple(range(k + 1))
+
+    def needs_division(face: FrozenSet[int]) -> bool:
+        if len(face) < 2 or k not in face:
+            return False
+        if face == frozenset({0, k}):
+            return False
+        return True
+
+    # div[face] = list of facets (each a frozenset of subdivision vertices)
+    # of the subdivision of that face; subdivision vertices are frozensets.
+    div: Dict[FrozenSet[int], List[Simplex]] = {}
+
+    faces_by_dim: List[List[FrozenSet[int]]] = []
+    for size in range(1, k + 2):
+        faces_by_dim.append(
+            [frozenset(c) for c in itertools.combinations(sigma, size)]
+        )
+
+    # Dimension 0.
+    for face in faces_by_dim[0]:
+        (v,) = tuple(face)
+        div[face] = [frozenset({frozenset({v})})]
+
+    # Higher dimensions.
+    for dim in range(1, k + 1):
+        for face in faces_by_dim[dim]:
+            if not needs_division(face):
+                div[face] = [frozenset(frozenset({v}) for v in face)]
+                continue
+            apex = frozenset(face)
+            facets: List[Simplex] = []
+            for boundary_face in (face - {v} for v in face):
+                for boundary_facet in div[frozenset(boundary_face)]:
+                    facets.append(frozenset(boundary_facet | {apex}))
+            div[face] = facets
+
+    return SubdividedSimplex(sigma, SimplicialComplex(div[frozenset(sigma)]))
+
+
+def count_top_simplices(subdivision: SubdividedSimplex) -> int:
+    """Number of top-dimensional simplexes of a subdivision."""
+    return len(subdivision.top_simplices())

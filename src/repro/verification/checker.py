@@ -1,0 +1,108 @@
+"""Bulk correctness checking over adversary families (exhaustive or sampled).
+
+The paper's theorems are of the form "for every adversary, ...".  This module
+discharges those quantifiers over finite families: it runs a protocol against
+every adversary of an enumerated or sampled family, applies the property
+checks of :mod:`repro.verification.properties`, and aggregates the outcome
+into a :class:`CheckReport` that the exhaustive tests and the PROP1/THM3
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..model.adversary import Adversary, Context
+from ..model.run import Run
+from .properties import Violation, check_run_for_protocol
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of checking one protocol over many adversaries."""
+
+    protocol: str
+    runs_checked: int = 0
+    violations: List[Tuple[int, Violation]] = field(default_factory=list)
+    #: Histogram of last-correct-decision times over the family.
+    decision_time_histogram: Dict[int, int] = field(default_factory=dict)
+    #: The largest observed (last correct) decision time and the paper bound it
+    #: was checked against, per run maximum.
+    max_decision_time: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation was found."""
+        return not self.violations
+
+    def record(self, index: int, run: Run, run_violations: List[Violation]) -> None:
+        """Fold one run's outcome into the report."""
+        self.runs_checked += 1
+        for violation in run_violations:
+            self.violations.append((index, violation))
+        last = run.last_decision_time(correct_only=True)
+        if last is not None:
+            self.decision_time_histogram[last] = self.decision_time_histogram.get(last, 0) + 1
+            self.max_decision_time = max(self.max_decision_time, last)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        histogram = ", ".join(
+            f"t={time}: {count}" for time, count in sorted(self.decision_time_histogram.items())
+        )
+        return (
+            f"{self.protocol}: {status} over {self.runs_checked} runs "
+            f"(decision-time histogram: {histogram or 'n/a'})"
+        )
+
+
+def check_protocol(
+    protocol,
+    adversaries: Iterable[Adversary],
+    t: int,
+    enforce_paper_bound: bool = True,
+) -> CheckReport:
+    """Run ``protocol`` against every adversary and check its specification."""
+    report = CheckReport(protocol=getattr(protocol, "name", "protocol"))
+    for index, adversary in enumerate(adversaries):
+        run = Run(protocol, adversary, t)
+        report.record(index, run, check_run_for_protocol(run, enforce_paper_bound))
+    return report
+
+
+def check_protocols(
+    protocols: Iterable,
+    adversaries: List[Adversary],
+    t: int,
+    enforce_paper_bound: bool = True,
+) -> Dict[str, CheckReport]:
+    """Check several protocols over the same adversary family."""
+    return {
+        getattr(protocol, "name", repr(protocol)): check_protocol(
+            protocol, adversaries, t, enforce_paper_bound
+        )
+        for protocol in protocols
+    }
+
+
+def exhaustive_context_check(
+    protocol,
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> CheckReport:
+    """Check a protocol over the (restricted) exhaustive adversary space of a context."""
+    from ..adversaries.enumeration import enumerate_adversaries
+
+    adversaries = enumerate_adversaries(
+        context,
+        max_crash_round=max_crash_round,
+        receiver_policy=receiver_policy,
+        max_failures=max_failures,
+        limit=limit,
+    )
+    return check_protocol(protocol, adversaries, context.t)

@@ -1,0 +1,190 @@
+"""Domination, strict domination and last-decider domination of protocols.
+
+Definitions 1 and 6 of the paper, evaluated over finite adversary families:
+
+* ``Q`` **dominates** ``P`` in a context if, for every adversary and every
+  process, whenever the process decides at time ``m`` under ``P`` it decides
+  at some time ``<= m`` under ``Q``;
+* ``Q`` **strictly dominates** ``P`` if it dominates ``P`` and beats it on at
+  least one (adversary, process) pair;
+* a protocol is **unbeatable** if no protocol solving the problem strictly
+  dominates it;
+* the **last-decider** variants compare only the time of the last decision in
+  each run.
+
+Unbeatability quantifies over *all* protocols and therefore cannot be
+established empirically; what this module provides is (i) the domination
+comparisons between concrete protocols that the paper's claims reduce to
+("u-Pmin strictly dominates all known protocols", "Opt0 beats early-stopping
+consensus by up to t-2 rounds"), and (ii) the per-adversary decision-time data
+that the DOM benchmark reports.  The complementary falsification-style
+evidence for unbeatability lives in :mod:`repro.verification.beatability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.adversary import Adversary
+from ..model.run import Run
+from ..model.types import ProcessId, Time
+
+
+@dataclass(frozen=True)
+class DecisionProfile:
+    """Decision times of one protocol on one adversary.
+
+    ``times[p]`` is the decision time of process ``p`` or ``None`` if it never
+    decides (processes that crash before deciding are recorded as ``None`` as
+    well — domination only compares processes that decide under the dominated
+    protocol, matching Definition 1).
+    """
+
+    protocol_name: str
+    times: Tuple[Optional[Time], ...]
+    last_correct_decision: Optional[Time]
+
+    @staticmethod
+    def from_run(run: Run) -> "DecisionProfile":
+        times = tuple(run.decision_time(p) for p in range(run.n))
+        return DecisionProfile(
+            protocol_name=getattr(run.protocol, "name", "protocol"),
+            times=times,
+            last_correct_decision=run.last_decision_time(correct_only=True),
+        )
+
+
+@dataclass
+class DominationReport:
+    """The result of comparing candidate ``Q`` against reference ``P`` over adversaries.
+
+    ``Q`` dominates ``P`` on the family iff ``counterexamples`` is empty;
+    it strictly dominates iff additionally ``improvements`` is non-empty.
+    """
+
+    candidate: str
+    reference: str
+    adversaries_checked: int = 0
+    #: (adversary index, process, time under Q, time under P) where Q was later.
+    counterexamples: List[Tuple[int, ProcessId, Optional[Time], Time]] = field(default_factory=list)
+    #: (adversary index, process, time under Q, time under P) where Q was strictly earlier.
+    improvements: List[Tuple[int, ProcessId, Time, Time]] = field(default_factory=list)
+    #: Total rounds saved by Q over all improving (adversary, process) pairs.
+    rounds_saved: int = 0
+
+    @property
+    def dominates(self) -> bool:
+        """Whether the candidate dominated the reference on every checked pair."""
+        return not self.counterexamples
+
+    @property
+    def strictly_dominates(self) -> bool:
+        """Whether the candidate dominated and improved on at least one pair."""
+        return self.dominates and bool(self.improvements)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = (
+            "strictly dominates"
+            if self.strictly_dominates
+            else "dominates" if self.dominates else "does NOT dominate"
+        )
+        return (
+            f"{self.candidate} {verdict} {self.reference} over {self.adversaries_checked} adversaries "
+            f"({len(self.improvements)} improvements, {len(self.counterexamples)} counterexamples, "
+            f"{self.rounds_saved} rounds saved)"
+        )
+
+
+def compare_on_adversary(
+    candidate_run: Run, reference_run: Run, adversary_index: int, report: DominationReport
+) -> None:
+    """Fold one adversary's decision times into a :class:`DominationReport`."""
+    report.adversaries_checked += 1
+    for process in range(reference_run.n):
+        reference_time = reference_run.decision_time(process)
+        if reference_time is None:
+            # Definition 1 only constrains processes that decide under the
+            # reference protocol.
+            continue
+        candidate_time = candidate_run.decision_time(process)
+        if candidate_time is None or candidate_time > reference_time:
+            report.counterexamples.append(
+                (adversary_index, process, candidate_time, reference_time)
+            )
+        elif candidate_time < reference_time:
+            report.improvements.append(
+                (adversary_index, process, candidate_time, reference_time)
+            )
+            report.rounds_saved += reference_time - candidate_time
+
+
+def compare_protocols(
+    candidate,
+    reference,
+    adversaries: Iterable[Adversary],
+    t: int,
+) -> DominationReport:
+    """Compare two protocols' decision times over a family of adversaries.
+
+    Both protocols are executed against exactly the same adversaries (the
+    definition of domination compares performance on the same behaviours of
+    the adversary).
+    """
+    report = DominationReport(
+        candidate=getattr(candidate, "name", "candidate"),
+        reference=getattr(reference, "name", "reference"),
+    )
+    for index, adversary in enumerate(adversaries):
+        candidate_run = Run(candidate, adversary, t)
+        reference_run = Run(reference, adversary, t)
+        compare_on_adversary(candidate_run, reference_run, index, report)
+    return report
+
+
+def last_decider_compare(
+    candidate,
+    reference,
+    adversaries: Iterable[Adversary],
+    t: int,
+) -> DominationReport:
+    """Definition 6: compare only the time of the last (correct) decision per run."""
+    report = DominationReport(
+        candidate=f"{getattr(candidate, 'name', 'candidate')} [last-decider]",
+        reference=f"{getattr(reference, 'name', 'reference')} [last-decider]",
+    )
+    for index, adversary in enumerate(adversaries):
+        candidate_run = Run(candidate, adversary, t)
+        reference_run = Run(reference, adversary, t)
+        report.adversaries_checked += 1
+        reference_last = reference_run.last_decision_time(correct_only=True)
+        candidate_last = candidate_run.last_decision_time(correct_only=True)
+        if reference_last is None:
+            continue
+        if candidate_last is None or candidate_last > reference_last:
+            report.counterexamples.append((index, -1, candidate_last, reference_last))
+        elif candidate_last < reference_last:
+            report.improvements.append((index, -1, candidate_last, reference_last))
+            report.rounds_saved += reference_last - candidate_last
+    return report
+
+
+def decision_time_table(
+    protocols: Sequence,
+    adversaries: Sequence[Adversary],
+    t: int,
+) -> Dict[str, List[Optional[Time]]]:
+    """Last-correct-decision times of several protocols on each adversary.
+
+    Returns a mapping ``protocol name -> [time per adversary]``; the DOM
+    benchmark prints this as the paper-style comparison table.
+    """
+    table: Dict[str, List[Optional[Time]]] = {}
+    for protocol in protocols:
+        column: List[Optional[Time]] = []
+        for adversary in adversaries:
+            run = Run(protocol, adversary, t)
+            column.append(run.last_decision_time(correct_only=True))
+        table[getattr(protocol, "name", repr(protocol))] = column
+    return table

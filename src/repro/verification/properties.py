@@ -1,0 +1,184 @@
+"""Correctness properties of (uniform and nonuniform) k-set consensus runs.
+
+The problem specification (paper, Section 2.3):
+
+* **k-Agreement** — the set of values that *correct* processes decide on has
+  cardinality at most ``k``;
+* **Uniform k-Agreement** — the set of *all* decided values (including those
+  decided by processes that later crash) has cardinality at most ``k``;
+* **Decision** — every correct process decides;
+* **Validity** — a value may be decided only if some process started with it.
+
+This module checks these properties — plus the decision-time bounds of
+Proposition 1 and Theorem 3 — on concrete :class:`repro.model.run.Run`
+objects, reporting violations as structured :class:`Violation` records rather
+than booleans, so that failing checks are immediately diagnosable in tests and
+benchmark logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..model.run import Run
+from ..model.types import ProcessId, Value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single property violation found in a run.
+
+    Attributes
+    ----------
+    property_name:
+        Which property was violated (``"validity"``, ``"decision"``, ...).
+    message:
+        A human-readable description of what went wrong.
+    process:
+        The offending process, when a single process can be blamed.
+    """
+
+    property_name: str
+    message: str
+    process: Optional[ProcessId] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" (process {self.process})" if self.process is not None else ""
+        return f"[{self.property_name}] {self.message}{suffix}"
+
+
+def check_validity(run: Run) -> List[Violation]:
+    """Validity: every decided value was some process's initial value."""
+    violations = []
+    initial_values = run.adversary.value_set()
+    for decision in run.decisions():
+        if decision.value not in initial_values:
+            violations.append(
+                Violation(
+                    "validity",
+                    f"value {decision.value} decided at time {decision.time} was nobody's input "
+                    f"(inputs: {sorted(initial_values)})",
+                    decision.process,
+                )
+            )
+    return violations
+
+
+def check_decision(run: Run) -> List[Violation]:
+    """Decision: every correct process decides (within the simulated horizon)."""
+    violations = []
+    for process in sorted(run.correct_processes()):
+        if run.decision(process) is None:
+            violations.append(
+                Violation(
+                    "decision",
+                    f"correct process {process} never decided within horizon {run.horizon}",
+                    process,
+                )
+            )
+    return violations
+
+
+def check_agreement(run: Run, k: int) -> List[Violation]:
+    """(Nonuniform) k-Agreement: correct processes decide on at most ``k`` values."""
+    decided = run.decided_values(correct_only=True)
+    if len(decided) > k:
+        return [
+            Violation(
+                "k-agreement",
+                f"correct processes decided {len(decided)} distinct values {sorted(decided)} > k={k}",
+            )
+        ]
+    return []
+
+
+def check_uniform_agreement(run: Run, k: int) -> List[Violation]:
+    """Uniform k-Agreement: all decided values (faulty deciders included) number at most ``k``."""
+    decided = run.decided_values(correct_only=False)
+    if len(decided) > k:
+        return [
+            Violation(
+                "uniform-k-agreement",
+                f"all processes together decided {len(decided)} distinct values {sorted(decided)} > k={k}",
+            )
+        ]
+    return []
+
+
+def check_decision_times(run: Run, bound: int, correct_only: bool = True) -> List[Violation]:
+    """Check every (correct) process decided no later than ``bound``."""
+    violations = []
+    pattern = run.adversary.pattern
+    for decision in run.decisions():
+        if correct_only and pattern.is_faulty(decision.process):
+            continue
+        if decision.time > bound:
+            violations.append(
+                Violation(
+                    "decision-time",
+                    f"process {decision.process} decided at time {decision.time}, "
+                    f"exceeding the bound {bound}",
+                    decision.process,
+                )
+            )
+    return violations
+
+
+def check_nonuniform_run(run: Run, k: int, time_bound: Optional[int] = None) -> List[Violation]:
+    """All nonuniform k-set consensus properties on one run (plus optional time bound)."""
+    violations = []
+    violations += check_validity(run)
+    violations += check_decision(run)
+    violations += check_agreement(run, k)
+    if time_bound is not None:
+        violations += check_decision_times(run, time_bound)
+    return violations
+
+
+def check_uniform_run(run: Run, k: int, time_bound: Optional[int] = None) -> List[Violation]:
+    """All uniform k-set consensus properties on one run (plus optional time bound)."""
+    violations = []
+    violations += check_validity(run)
+    violations += check_decision(run)
+    violations += check_uniform_agreement(run, k)
+    if time_bound is not None:
+        violations += check_decision_times(run, time_bound, correct_only=False)
+    return violations
+
+
+def proposition1_bound(k: int, f: int) -> int:
+    """Proposition 1: Optmin[k] decision-time bound ``⌊f/k⌋ + 1``."""
+    return f // k + 1
+
+
+def theorem3_bound(k: int, t: int, f: int) -> int:
+    """Theorem 3: u-Pmin[k] decision-time bound ``min(⌊t/k⌋ + 1, ⌊f/k⌋ + 2)``."""
+    return min(t // k + 1, f // k + 2)
+
+
+def check_run_for_protocol(run: Run, enforce_paper_bound: bool = True) -> List[Violation]:
+    """Check a run against the specification appropriate for its protocol.
+
+    Uniform protocols are checked for Uniform k-Agreement, nonuniform ones
+    for plain k-Agreement.  When ``enforce_paper_bound`` is set and the
+    protocol declares an early-deciding bound via ``decision_bound`` (as
+    Optmin[k], u-Pmin[k] and the early-deciding baselines do), that bound —
+    which depends on the run's actual failure count ``f`` — is enforced;
+    otherwise the protocol's worst-case ``max_decision_time`` is used.
+    """
+    protocol = run.protocol
+    if protocol is None:
+        raise ValueError("the run was executed without a protocol; nothing to check")
+    k = protocol.k
+    f = run.adversary.num_failures
+    if enforce_paper_bound and hasattr(protocol, "decision_bound"):
+        try:
+            bound = protocol.decision_bound(f)
+        except TypeError:
+            bound = protocol.decision_bound(run.t, f)
+    else:
+        bound = protocol.max_decision_time(run.n, run.t)
+    if protocol.uniform:
+        return check_uniform_run(run, k, bound)
+    return check_nonuniform_run(run, k, bound)

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "optmin"
+        assert args.scenario == "random"
+        assert args.n == 7 and args.t == 4 and args.k == 2
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "nope"])
+
+
+class TestRunCommand:
+    def test_random_run_passes_spec(self, capsys):
+        assert main(["run", "--protocol", "optmin", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "specification check: OK" in out
+        assert "decide(" in out
+
+    def test_figure_scenarios(self, capsys):
+        for scenario in ("fig1", "fig2", "fig4"):
+            assert main(["run", "--protocol", "upmin", "--scenario", scenario, "-k", "3"]) == 0
+        assert "run of" in capsys.readouterr().out
+
+    def test_uniform_protocol_on_random(self, capsys):
+        assert main(["run", "--protocol", "upmin", "--seed", "1", "--failures", "2"]) == 0
+        assert "specification check: OK" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_prints_statistics_and_domination(self, capsys):
+        code = main(
+            ["compare", "-n", "6", "-t", "3", "-k", "2", "--samples", "30",
+             "--protocols", "optmin", "early", "floodmin"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decision-time statistics" in out
+        assert "dominates" in out
+
+
+class TestFigure4Command:
+    def test_figure4_reports_gap(self, capsys):
+        assert main(["figure4", "-k", "3", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "u-Pmin[k]" in out
+        assert "time 2" in out
+        assert "time 5" in out
+
+
+class TestSurgeryCommand:
+    def test_surgery_reports_guarantees(self, capsys):
+        assert main(["surgery", "-k", "3", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "observer view preserved : True" in out
+        assert "violation" in out

@@ -1,0 +1,118 @@
+"""Unit tests for abstract simplicial complexes."""
+
+import pytest
+
+from repro.topology import (
+    SimplicialComplex,
+    boundary_of_simplex,
+    full_simplex,
+    simplex,
+    sphere_complex,
+)
+
+
+class TestConstruction:
+    def test_facets_are_maximal(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {1, 2}, {4}])
+        assert set(complex_.facets) == {frozenset({1, 2, 3}), frozenset({4})}
+
+    def test_vertices(self):
+        complex_ = SimplicialComplex([{1, 2}, {3}])
+        assert complex_.vertices == frozenset({1, 2, 3})
+
+    def test_empty_complex(self):
+        complex_ = SimplicialComplex()
+        assert complex_.is_empty()
+        assert complex_.dimension == -1
+
+    def test_dimension_and_purity(self):
+        assert full_simplex(range(4)).dimension == 3
+        assert full_simplex(range(4)).is_pure()
+        assert not SimplicialComplex([{1, 2, 3}, {4, 5}]).is_pure()
+
+    def test_equality_and_hash(self):
+        a = SimplicialComplex([{1, 2}, {2, 3}])
+        b = SimplicialComplex([{2, 3}, {1, 2}])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_simplex_helper(self):
+        assert simplex(1, 2, 3) == frozenset({1, 2, 3})
+
+
+class TestQueries:
+    def test_contains(self):
+        complex_ = SimplicialComplex([{1, 2, 3}])
+        assert {1, 2} in complex_
+        assert {1, 2, 3} in complex_
+        assert {1, 4} not in complex_
+        assert complex_.contains([])
+
+    def test_simplices_by_dimension(self):
+        complex_ = full_simplex(range(3))
+        assert len(complex_.simplices(0)) == 3
+        assert len(complex_.simplices(1)) == 3
+        assert len(complex_.simplices(2)) == 1
+        assert len(complex_.simplices()) == 7
+
+    def test_facet_count_by_dimension(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {4, 5}])
+        assert complex_.facet_count_by_dimension() == {2: 1, 1: 1}
+
+
+class TestOperations:
+    def test_star_contains_all_facets_with_vertex(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {3, 4}, {5, 6}])
+        star = complex_.star(3)
+        assert set(star.facets) == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    def test_star_of_missing_vertex_is_empty(self):
+        complex_ = SimplicialComplex([{1, 2}])
+        assert complex_.star(9).is_empty()
+
+    def test_link(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {3, 4}])
+        link = complex_.link(3)
+        assert set(link.facets) == {frozenset({1, 2}), frozenset({4})}
+
+    def test_induced_subcomplex(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {3, 4}])
+        induced = complex_.induced({1, 2, 4})
+        assert set(induced.facets) == {frozenset({1, 2}), frozenset({4})}
+
+    def test_skeleton(self):
+        skeleton = full_simplex(range(4)).skeleton(1)
+        assert skeleton.dimension == 1
+        assert len(skeleton.simplices(1)) == 6
+
+    def test_skeleton_negative_dimension_is_empty(self):
+        assert full_simplex(range(3)).skeleton(-1).is_empty()
+
+    def test_join_of_disjoint_complexes(self):
+        left = SimplicialComplex([{1}, {2}])
+        right = SimplicialComplex([{"a"}])
+        joined = left.join(right)
+        assert frozenset({1, "a"}) in joined.facets
+        assert frozenset({2, "a"}) in joined.facets
+
+    def test_join_rejects_overlapping_vertices(self):
+        with pytest.raises(ValueError):
+            SimplicialComplex([{1}]).join(SimplicialComplex([{1, 2}]))
+
+    def test_join_with_empty_complex(self):
+        left = SimplicialComplex([{1, 2}])
+        assert left.join(SimplicialComplex()) == left
+
+    def test_boundary_complex(self):
+        boundary = full_simplex(range(3)).boundary_complex()
+        assert boundary.dimension == 1
+        assert len(boundary.facets) == 3
+
+    def test_boundary_of_simplex_helper(self):
+        assert boundary_of_simplex(range(3)) == full_simplex(range(3)).boundary_complex()
+
+    def test_sphere_complex_shape(self):
+        sphere = sphere_complex(2)
+        assert sphere.dimension == 2
+        assert len(sphere.facets) == 4
+        assert sphere.is_pure()

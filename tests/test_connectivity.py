@@ -1,0 +1,101 @@
+"""Unit tests for GF(2) homology and the connectivity proxy."""
+
+import pytest
+
+from repro.topology import (
+    SimplicialComplex,
+    connectivity_profile,
+    euler_characteristic,
+    full_simplex,
+    is_homologically_q_connected,
+    reduced_betti_numbers,
+    simplices_by_dimension,
+    sphere_complex,
+)
+
+
+class TestBettiNumbers:
+    def test_point_is_contractible(self):
+        point = SimplicialComplex([{0}])
+        assert reduced_betti_numbers(point) == [0]
+
+    def test_full_simplex_is_contractible(self):
+        assert reduced_betti_numbers(full_simplex(range(5))) == [0] * 5
+
+    def test_two_points_have_betti0_one(self):
+        two = SimplicialComplex([{0}, {1}])
+        assert reduced_betti_numbers(two) == [1]
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_spheres(self, dim):
+        betti = reduced_betti_numbers(sphere_complex(dim))
+        assert betti == [0] * dim + [1]
+
+    def test_circle(self):
+        circle = SimplicialComplex([{0, 1}, {1, 2}, {2, 0}])
+        assert reduced_betti_numbers(circle) == [0, 1]
+
+    def test_wedge_of_two_circles(self):
+        wedge = SimplicialComplex([{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}])
+        assert reduced_betti_numbers(wedge) == [0, 2]
+
+    def test_empty_complex_has_no_betti_numbers(self):
+        assert reduced_betti_numbers(SimplicialComplex()) == []
+
+    def test_max_dimension_truncates(self):
+        sphere = sphere_complex(3)
+        assert reduced_betti_numbers(sphere, max_dimension=1) == [0, 0]
+
+
+class TestEulerCharacteristic:
+    def test_sphere_euler(self):
+        assert euler_characteristic(sphere_complex(2)) == 2
+        assert euler_characteristic(sphere_complex(1)) == 0
+
+    def test_contractible_euler(self):
+        assert euler_characteristic(full_simplex(range(4))) == 1
+
+    def test_euler_matches_betti_alternating_sum(self):
+        # χ = 1 + Σ (-1)^q b̃_q for a non-empty complex (reduced homology).
+        for complex_ in (sphere_complex(2), full_simplex(range(4)),
+                         SimplicialComplex([{0, 1}, {1, 2}, {2, 0}])):
+            betti = reduced_betti_numbers(complex_)
+            alternating = sum(((-1) ** q) * b for q, b in enumerate(betti))
+            assert euler_characteristic(complex_) == 1 + alternating
+
+
+class TestConnectivityProxy:
+    def test_empty_complex_is_not_connected(self):
+        assert not is_homologically_q_connected(SimplicialComplex(), 0)
+        assert connectivity_profile(SimplicialComplex()) == -2
+
+    def test_disconnected_complex(self):
+        two = SimplicialComplex([{0}, {1}])
+        assert not is_homologically_q_connected(two, 0)
+        assert connectivity_profile(two) == -1
+
+    def test_nonempty_complex_is_minus1_connected(self):
+        assert is_homologically_q_connected(SimplicialComplex([{0}]), -1)
+
+    def test_sphere_connectivity(self):
+        # The d-sphere is (d-1)-connected but not d-connected.
+        for d in (1, 2, 3):
+            sphere = sphere_complex(d)
+            assert is_homologically_q_connected(sphere, d - 1)
+            assert not is_homologically_q_connected(sphere, d)
+            assert connectivity_profile(sphere) == d - 1
+
+    def test_full_simplex_connectivity_profile(self):
+        simplex = full_simplex(range(4))
+        assert connectivity_profile(simplex) == simplex.dimension
+
+    def test_star_is_always_connected(self):
+        complex_ = SimplicialComplex([{0, 1, 2}, {2, 3}, {3, 4}])
+        star = complex_.star(2)
+        assert is_homologically_q_connected(star, 0)
+
+
+class TestGrouping:
+    def test_simplices_by_dimension(self):
+        grouped = simplices_by_dimension(full_simplex(range(3)))
+        assert {dim: len(s) for dim, s in grouped.items()} == {0: 3, 1: 3, 2: 1}

@@ -1,0 +1,100 @@
+"""Unit tests for exhaustive adversary enumeration."""
+
+import pytest
+
+from repro.adversaries import (
+    count_adversaries,
+    enumerate_adversaries,
+    enumerate_failure_patterns,
+    enumerate_input_vectors,
+)
+from repro.model import Context
+
+
+class TestInputVectors:
+    def test_count(self):
+        context = Context(n=3, t=1, k=1, max_value=1)
+        assert sum(1 for _ in enumerate_input_vectors(context)) == 8
+
+    def test_larger_domain(self):
+        context = Context(n=2, t=1, k=1, max_value=2)
+        vectors = set(enumerate_input_vectors(context))
+        assert len(vectors) == 9
+        assert (2, 0) in vectors
+
+
+class TestFailurePatterns:
+    def test_none_policy_counts(self):
+        context = Context(n=3, t=1, k=1)
+        patterns = list(
+            enumerate_failure_patterns(context, max_crash_round=2, receiver_policy="none")
+        )
+        # Failure-free + (3 processes × 2 rounds) silent crashes.
+        assert len(patterns) == 1 + 6
+
+    def test_canonical_policy_counts(self):
+        context = Context(n=3, t=1, k=1)
+        patterns = list(
+            enumerate_failure_patterns(context, max_crash_round=1, receiver_policy="canonical")
+        )
+        # Failure-free + 3 crashers × 4 receiver choices (∅, {a}, {b}, all).
+        assert len(patterns) == 1 + 12
+
+    def test_all_policy_counts(self):
+        context = Context(n=3, t=1, k=1)
+        patterns = list(
+            enumerate_failure_patterns(context, max_crash_round=1, receiver_policy="all")
+        )
+        # Failure-free + 3 crashers × 2^2 receiver subsets.
+        assert len(patterns) == 1 + 12
+
+    def test_unknown_policy_rejected(self):
+        context = Context(n=3, t=1, k=1)
+        with pytest.raises(ValueError):
+            list(enumerate_failure_patterns(context, receiver_policy="bogus"))
+
+    def test_max_failures_restriction(self):
+        context = Context(n=4, t=3, k=1)
+        patterns = list(
+            enumerate_failure_patterns(
+                context, max_crash_round=1, receiver_policy="none", max_failures=1
+            )
+        )
+        assert all(p.num_failures <= 1 for p in patterns)
+
+    def test_respects_crash_bound(self):
+        context = Context(n=3, t=2, k=1)
+        for pattern in enumerate_failure_patterns(
+            context, max_crash_round=1, receiver_policy="none"
+        ):
+            assert pattern.num_failures <= 2
+
+
+class TestAdversaries:
+    def test_product_structure(self):
+        context = Context(n=3, t=1, k=1, max_value=1)
+        total = count_adversaries(context, max_crash_round=1, receiver_policy="none")
+        patterns = 1 + 3
+        vectors = 8
+        assert total == patterns * vectors
+
+    def test_limit_truncates(self):
+        context = Context(n=3, t=2, k=1, max_value=1)
+        limited = list(
+            enumerate_adversaries(context, max_crash_round=1, receiver_policy="canonical", limit=25)
+        )
+        assert len(limited) == 25
+
+    def test_all_members_admitted_by_context(self):
+        context = Context(n=3, t=2, k=1, max_value=1)
+        for adversary in enumerate_adversaries(
+            context, max_crash_round=2, receiver_policy="none", limit=200
+        ):
+            assert context.admits(adversary)
+
+    def test_no_duplicates_in_small_space(self):
+        context = Context(n=3, t=1, k=1, max_value=1)
+        adversaries = list(
+            enumerate_adversaries(context, max_crash_round=1, receiver_policy="canonical")
+        )
+        assert len(adversaries) == len(set(adversaries))

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: exhaustive model checking and the paper's headline claims."""
+
+import pytest
+
+from repro import (
+    EarlyDecidingKSet,
+    EarlyStoppingConsensus,
+    FloodMin,
+    Opt0,
+    OptMin,
+    UOpt0,
+    UPMin,
+    UniformEarlyDecidingKSet,
+    UniformEarlyStoppingConsensus,
+)
+from repro.adversaries import (
+    AdversaryGenerator,
+    enumerate_adversaries,
+    figure1_scenario,
+    figure4_scenario,
+)
+from repro.model import Context, Run
+from repro.verification import check_protocol, compare_protocols, last_decider_compare
+
+
+@pytest.fixture(scope="module")
+def exhaustive_consensus_space():
+    """All canonical-receiver adversaries of a tiny consensus context."""
+    context = Context(n=3, t=2, k=1, max_value=1)
+    adversaries = list(
+        enumerate_adversaries(context, max_crash_round=2, receiver_policy="canonical")
+    )
+    return context, adversaries
+
+
+@pytest.fixture(scope="module")
+def exhaustive_kset_space():
+    """A restricted exhaustive space for k = 2 (silent crashes only keeps it tractable)."""
+    context = Context(n=4, t=2, k=2)
+    adversaries = list(
+        enumerate_adversaries(context, max_crash_round=2, receiver_policy="canonical", max_failures=2)
+    )
+    return context, adversaries
+
+
+class TestExhaustiveModelChecking:
+    def test_every_protocol_correct_on_exhaustive_consensus_space(self, exhaustive_consensus_space):
+        context, adversaries = exhaustive_consensus_space
+        for protocol in (
+            Opt0(),
+            UOpt0(),
+            OptMin(1),
+            UPMin(1),
+            FloodMin(1),
+            EarlyStoppingConsensus(),
+            UniformEarlyStoppingConsensus(),
+        ):
+            report = check_protocol(protocol, adversaries, context.t)
+            assert report.ok, report.summary()
+
+    def test_every_protocol_correct_on_exhaustive_kset_space(self, exhaustive_kset_space):
+        context, adversaries = exhaustive_kset_space
+        for protocol in (
+            OptMin(2),
+            UPMin(2),
+            FloodMin(2),
+            EarlyDecidingKSet(2),
+            UniformEarlyDecidingKSet(2),
+        ):
+            report = check_protocol(protocol, adversaries, context.t)
+            assert report.ok, report.summary()
+
+    def test_optmin_dominates_baselines_exhaustively(self, exhaustive_consensus_space):
+        context, adversaries = exhaustive_consensus_space
+        for baseline in (FloodMin(1), EarlyStoppingConsensus()):
+            report = compare_protocols(OptMin(1), baseline, adversaries, context.t)
+            assert report.dominates, report.summary()
+
+    def test_optmin_dominates_kset_baselines_exhaustively(self, exhaustive_kset_space):
+        context, adversaries = exhaustive_kset_space
+        for baseline in (FloodMin(2), EarlyDecidingKSet(2)):
+            report = compare_protocols(OptMin(2), baseline, adversaries, context.t)
+            assert report.dominates, report.summary()
+
+    def test_upmin_dominates_uniform_baselines_exhaustively(self, exhaustive_kset_space):
+        context, adversaries = exhaustive_kset_space
+        for baseline in (FloodMin(2), UniformEarlyDecidingKSet(2)):
+            report = compare_protocols(UPMin(2), baseline, adversaries, context.t)
+            assert report.dominates, report.summary()
+
+    def test_opt0_is_last_decider_dominant_over_baseline(self, exhaustive_consensus_space):
+        context, adversaries = exhaustive_consensus_space
+        report = last_decider_compare(Opt0(), EarlyStoppingConsensus(), adversaries, context.t)
+        assert report.dominates, report.summary()
+
+
+class TestHeadlineClaims:
+    def test_opt0_beats_early_stopping_by_large_margin(self):
+        """Section 3: Opt0 sometimes decides in ~3 rounds where baselines need ~t+1."""
+        scenario = figure1_scenario(chain_length=1, extra_processes=6, chain_value=1)
+        t = 6
+        opt0 = Run(Opt0(), scenario.adversary, t)
+        baseline = Run(EarlyStoppingConsensus(), scenario.adversary, t)
+        assert opt0.last_decision_time() <= 2
+        assert baseline.last_decision_time() >= opt0.last_decision_time()
+
+    @pytest.mark.parametrize("rounds", [3, 5, 7])
+    def test_fig4_gap_scales_with_t(self, rounds):
+        """Section 5 / Fig. 4: u-Pmin decides at 2; all prior protocols at ⌊t/k⌋+1."""
+        scenario = figure4_scenario(k=3, rounds=rounds)
+        upmin = Run(UPMin(3), scenario.adversary, scenario.context.t)
+        assert upmin.last_decision_time() == 2
+        for baseline in (FloodMin(3), EarlyDecidingKSet(3), UniformEarlyDecidingKSet(3)):
+            run = Run(baseline, scenario.adversary, scenario.context.t)
+            assert run.last_decision_time() == rounds + 1
+
+    def test_optmin_meets_worst_case_bound_with_slack_elsewhere(self, small_context):
+        """Proposition 1 bound is met on every random adversary and is tight on chains."""
+        generator = AdversaryGenerator(small_context, seed=99)
+        for adversary in generator.sample(100):
+            run = Run(OptMin(2), adversary, small_context.t)
+            assert run.last_decision_time() <= adversary.num_failures // 2 + 1
+
+    def test_uniform_protocol_never_beats_nonuniform_counterpart(self, small_context):
+        """Uniformity costs time: u-Pmin never decides before Optmin on the same adversary."""
+        generator = AdversaryGenerator(small_context, seed=7)
+        report = compare_protocols(OptMin(2), UPMin(2), generator.sample(60), small_context.t)
+        assert report.dominates

@@ -1,0 +1,78 @@
+"""Unit tests for barycentric and paper (Div σ) subdivisions."""
+
+import math
+
+import pytest
+
+from repro.topology import barycentric_subdivision, count_top_simplices, paper_subdivision
+
+
+class TestBarycentric:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_top_simplex_count_is_factorial(self, dim):
+        subdivision = barycentric_subdivision(range(dim + 1))
+        assert count_top_simplices(subdivision) == math.factorial(dim + 1)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_vertices_are_faces(self, dim):
+        subdivision = barycentric_subdivision(range(dim + 1))
+        # One vertex per non-empty face of the simplex.
+        assert len(subdivision.vertices()) == 2 ** (dim + 1) - 1
+
+    def test_validity(self):
+        assert barycentric_subdivision(range(3)).is_valid_subdivision()
+
+    def test_carrier_is_the_face_itself(self):
+        subdivision = barycentric_subdivision(range(3))
+        vertex = frozenset({0, 1})
+        assert subdivision.carrier(vertex) == frozenset({0, 1})
+
+    def test_carrier_rejects_foreign_vertex(self):
+        subdivision = barycentric_subdivision(range(3))
+        with pytest.raises(ValueError):
+            subdivision.carrier(frozenset({9}))
+
+    def test_dimension(self):
+        assert barycentric_subdivision(range(4)).dimension == 3
+
+
+class TestPaperSubdivision:
+    def test_k1_is_the_plain_edge(self):
+        subdivision = paper_subdivision(1)
+        assert count_top_simplices(subdivision) == 1
+        assert len(subdivision.vertices()) == 2
+
+    def test_k2_matches_figure5(self):
+        """Fig. 5 (center): 5 vertices, 4 triangles for σ = {0, 1, 2}."""
+        subdivision = paper_subdivision(2)
+        assert len(subdivision.vertices()) == 5
+        assert count_top_simplices(subdivision) == 4
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_validity(self, k):
+        assert paper_subdivision(k).is_valid_subdivision()
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_only_faces_containing_k_get_new_vertices(self, k):
+        subdivision = paper_subdivision(k)
+        for vertex in subdivision.vertices():
+            if len(vertex) >= 2:
+                # New vertices correspond to subdivided faces, which always
+                # contain the distinguished vertex k and are not {0, k}.
+                assert k in vertex
+                assert vertex != frozenset({0, k})
+
+    def test_original_vertices_are_kept(self):
+        subdivision = paper_subdivision(3)
+        for v in range(4):
+            assert frozenset({v}) in subdivision.vertices()
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            paper_subdivision(0)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_growth_with_k(self, k):
+        assert count_top_simplices(paper_subdivision(k)) > count_top_simplices(
+            paper_subdivision(k - 1)
+        )
