@@ -3,18 +3,20 @@
 The benchmark checks the bound over (i) random adversary ensembles for a grid
 of (n, k, f) and (ii) the worst-case hidden-chain adversaries on which the
 bound is tight, and reports the observed decision-time histogram against the
-bound.
+bound.  The whole grid runs on the batch sweep engine (:mod:`repro.engine`);
+``tests/test_engine_differential.py`` pins that engine to the reference
+``Run``, so the timed numbers stay comparable across engine changes.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import OptMin
+from repro import OptMin, Run
 from repro.adversaries import AdversaryGenerator, figure2_scenario
 from repro.analysis import collect
-from repro.model import Context, Run
-from repro.verification import check_run_for_protocol, proposition1_bound
+from repro.model import Context
+from repro.verification import check_protocol, proposition1_bound
 
 from conftest import print_table
 
@@ -34,10 +36,10 @@ def run_grid():
             adversaries,
             context.t,
             bound_for=lambda protocol, adversary: proposition1_bound(k, adversary.num_failures),
+            engine="batch",
         )["Optmin[k]"]
-        violations = sum(
-            len(check_run_for_protocol(Run(OptMin(k), adversary, context.t)))
-            for adversary in adversaries[:20]
+        violations = len(
+            check_protocol(OptMin(k), adversaries[:20], context.t, engine="batch").violations
         )
         worst_case = figure2_scenario(k=k, depth=t // k)
         tight = Run(OptMin(k), worst_case.adversary, worst_case.context.t).last_decision_time()

@@ -1,15 +1,16 @@
 """SCALE — engineering benchmark: cost of simulating runs as n and t grow.
 
-Not a paper experiment; it records the cost profile of the full-information
-run engine (the substrate every other experiment stands on) so performance
-regressions are visible in the benchmark history.
+Not a paper experiment; it records the cost profile of both execution engines
+(the substrate every other experiment stands on) so performance regressions
+are visible in the benchmark history: the reference per-adversary ``Run`` and
+the batch sweep engine of :mod:`repro.engine` on the same ensembles.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import OptMin, UPMin
+from repro import OptMin, SweepRunner, UPMin
 from repro.adversaries import AdversaryGenerator
 from repro.model import Context, Run
 
@@ -23,6 +24,11 @@ def simulate(context: Context, adversaries, protocol) -> int:
         run = Run(protocol, adversary, context.t)
         decided += sum(1 for _ in run.decisions())
     return decided
+
+
+def simulate_batch(context: Context, adversaries, protocol) -> int:
+    runner = SweepRunner(protocol, context.t)
+    return sum(len(run.decisions()) for run in runner.sweep(adversaries))
 
 
 @pytest.mark.benchmark(group="scale")
@@ -41,3 +47,22 @@ def test_upmin_simulation_cost(benchmark, n, t):
     adversaries = AdversaryGenerator(context, seed=n).sample(5)
     decided = benchmark(simulate, context, adversaries, UPMin(2))
     assert decided > 0
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n,t", CASES)
+def test_optmin_batch_sweep_cost(benchmark, n, t):
+    """The same ensembles through the batch engine — must match the reference."""
+    context = Context(n=n, t=t, k=2)
+    adversaries = AdversaryGenerator(context, seed=n).sample(5)
+    decided = benchmark(simulate_batch, context, adversaries, OptMin(2))
+    assert decided == simulate(context, adversaries, OptMin(2))
+
+
+@pytest.mark.benchmark(group="scale")
+@pytest.mark.parametrize("n,t", CASES[:3])
+def test_upmin_batch_sweep_cost(benchmark, n, t):
+    context = Context(n=n, t=t, k=2)
+    adversaries = AdversaryGenerator(context, seed=n).sample(5)
+    decided = benchmark(simulate_batch, context, adversaries, UPMin(2))
+    assert decided == simulate(context, adversaries, UPMin(2))

@@ -27,6 +27,7 @@ from .baselines import (
     UniformEarlyStoppingConsensus,
 )
 from .core import Opt0, OptMin, Protocol, UOpt0, UPMin
+from .engine import BatchRun, SweepRunner, sweep
 from .model import (
     Adversary,
     Context,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Adversary",
+    "BatchRun",
     "Context",
     "CrashEvent",
     "Decision",
@@ -55,11 +57,13 @@ __all__ = [
     "ProcessTimeNode",
     "Protocol",
     "Run",
+    "SweepRunner",
     "UOpt0",
     "UPMin",
     "UniformEarlyDecidingKSet",
     "UniformEarlyStoppingConsensus",
     "View",
     "execute",
+    "sweep",
     "__version__",
 ]

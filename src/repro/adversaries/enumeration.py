@@ -22,6 +22,7 @@ consumers.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.adversary import Adversary, Context
@@ -63,7 +64,7 @@ def enumerate_failure_patterns(
     """All failure patterns of the context under the given restrictions."""
     n = context.n
     max_failures = context.t if max_failures is None else min(max_failures, context.t)
-    max_round = max_crash_round or context.horizon()
+    max_round = context.horizon() if max_crash_round is None else max_crash_round
     for count in range(max_failures + 1):
         for faulty in itertools.combinations(range(n), count):
             per_process_options: List[List[CrashEvent]] = []
@@ -88,9 +89,12 @@ def enumerate_adversaries(
     """All adversaries of the context under the given restrictions.
 
     Patterns are enumerated in the outer loop and input vectors in the inner
-    loop.  ``limit`` truncates the stream (useful for smoke tests); when it is
-    ``None`` the stream is exhaustive for the restricted space.
+    loop.  ``limit`` truncates the stream to exactly that many adversaries
+    (``<= 0`` yields nothing); when it is ``None`` the stream is exhaustive
+    for the restricted space.
     """
+    if limit is not None and limit <= 0:
+        return
     produced = 0
     for pattern in enumerate_failure_patterns(
         context, max_crash_round, receiver_policy, max_failures
@@ -100,6 +104,38 @@ def enumerate_adversaries(
             produced += 1
             if limit is not None and produced >= limit:
                 return
+
+
+def estimate_adversary_count(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+) -> int:
+    """The size of the restricted adversary space, in closed form.
+
+    Exact (it mirrors the enumeration structure: independent per-crasher
+    options crossed over faulty sets, times the input-vector count) but
+    O(t) to evaluate — use it to decide whether a space is tractable
+    *before* enumerating it.
+    """
+    n = context.n
+    max_failures = context.t if max_failures is None else min(max_failures, context.t)
+    max_round = context.horizon() if max_crash_round is None else max_crash_round
+    if receiver_policy == "none":
+        subsets = 1
+    elif receiver_policy == "canonical":
+        subsets = n + 1
+    elif receiver_policy == "all":
+        subsets = 2 ** (n - 1)
+    else:
+        raise ValueError(f"unknown receiver policy {receiver_policy!r}")
+    # Non-positive max_round admits no crashing rounds (enumeration's
+    # range(1, max_round + 1) is empty), so only the failure-free pattern
+    # survives — mirror that instead of summing sign-garbled powers.
+    options = max(max_round, 0) * subsets
+    patterns = sum(math.comb(n, count) * options**count for count in range(max_failures + 1))
+    return patterns * len(context.values_domain) ** n
 
 
 def count_adversaries(

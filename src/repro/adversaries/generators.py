@@ -36,9 +36,9 @@ class AdversaryGenerator:
         Seed for the private :class:`random.Random` instance (generation is
         fully deterministic given the seed).
     max_crash_round:
-        Crashes are placed in rounds ``1 .. max_crash_round``.  Defaults to
-        the context's worst-case horizon, which is where crashes can still
-        influence decisions.
+        Crashes are placed in rounds ``1 .. max_crash_round`` (so it must be
+        ``>= 1`` when given).  Defaults to the context's worst-case horizon,
+        which is where crashes can still influence decisions.
     """
 
     def __init__(
@@ -47,9 +47,18 @@ class AdversaryGenerator:
         seed: int = 0,
         max_crash_round: Optional[int] = None,
     ) -> None:
+        if max_crash_round is not None and max_crash_round < 1:
+            # This generator *places* crashes, so it needs at least round 1;
+            # a falsy 0 used to be silently coerced to the horizon instead.
+            raise ValueError(
+                f"max_crash_round must be >= 1 (got {max_crash_round}); "
+                f"sample a failure-free space with random_adversary(num_failures=0)"
+            )
         self._context = context
         self._rng = random.Random(seed)
-        self._max_crash_round = max_crash_round or context.horizon()
+        self._max_crash_round = (
+            context.horizon() if max_crash_round is None else max_crash_round
+        )
 
     @property
     def context(self) -> Context:

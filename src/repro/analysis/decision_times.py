@@ -10,6 +10,11 @@ processes decide.  This module provides the shared machinery:
 * :func:`collect` — run the experiment and return one
   :class:`ProtocolStatistics` per protocol;
 * :func:`speedup_table` — pairwise rounds-saved summary between protocols.
+
+Both experiment drivers run on the batch sweep engine (:mod:`repro.engine`)
+by default, which amortises simulation across the ensemble; pass
+``engine="reference"`` to fall back to one :class:`repro.model.run.Run` per
+adversary (the oracle path).
 """
 
 from __future__ import annotations
@@ -67,11 +72,28 @@ class ProtocolStatistics:
         )
 
 
+def _last_decision_times(
+    protocol, adversaries: Sequence[Adversary], t: int, engine: str, processes: Optional[int]
+) -> List[Optional[Time]]:
+    """Last correct decision time per adversary, via the selected engine."""
+    from ..engine import SweepRunner, validate_engine_choice
+
+    validate_engine_choice(engine, processes)
+    if engine == "reference":
+        return [
+            Run(protocol, adversary, t).last_decision_time(correct_only=True)
+            for adversary in adversaries
+        ]
+    return SweepRunner(protocol, t, processes=processes).decision_times(adversaries)
+
+
 def collect(
     protocols: Sequence,
     adversaries: Sequence[Adversary],
     t: int,
     bound_for: Optional[Callable[[object, Adversary], int]] = None,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> Dict[str, ProtocolStatistics]:
     """Run every protocol against every adversary and summarise decision times.
 
@@ -79,14 +101,17 @@ def collect(
     bound (e.g. Proposition 1's ``⌊f/k⌋ + 1``); violations are counted in the
     returned statistics.
     """
+    # Materialise once: the family is iterated per protocol and then zipped
+    # against its results, so a one-shot iterator must not be consumed early.
+    adversaries = list(adversaries)
     stats: Dict[str, ProtocolStatistics] = {}
     for protocol in protocols:
         name = getattr(protocol, "name", repr(protocol))
         entry = ProtocolStatistics(protocol=name)
-        for adversary in adversaries:
-            run = Run(protocol, adversary, t)
+        times = _last_decision_times(protocol, adversaries, t, engine, processes)
+        for adversary, last in zip(adversaries, times):
             bound = bound_for(protocol, adversary) if bound_for is not None else None
-            entry.record(run.last_decision_time(correct_only=True), bound)
+            entry.record(last, bound)
         stats[name] = entry
     return stats
 
@@ -96,6 +121,8 @@ def speedup_table(
     references: Sequence,
     adversaries: Sequence[Adversary],
     t: int,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """How much earlier ``candidate`` finishes than each reference protocol.
 
@@ -104,17 +131,15 @@ def speedup_table(
     the same adversary, and the fraction of adversaries on which the
     candidate is strictly faster.
     """
+    adversaries = list(adversaries)
     table: Dict[str, Dict[str, float]] = {}
-    candidate_times: List[Optional[Time]] = [
-        Run(candidate, adversary, t).last_decision_time(correct_only=True)
-        for adversary in adversaries
-    ]
+    candidate_times = _last_decision_times(candidate, adversaries, t, engine, processes)
     for reference in references:
         name = getattr(reference, "name", repr(reference))
+        reference_times = _last_decision_times(reference, adversaries, t, engine, processes)
         saved: List[int] = []
         faster = 0
-        for adversary, candidate_time in zip(adversaries, candidate_times):
-            reference_time = Run(reference, adversary, t).last_decision_time(correct_only=True)
+        for candidate_time, reference_time in zip(candidate_times, reference_times):
             if candidate_time is None or reference_time is None:
                 continue
             saved.append(reference_time - candidate_time)

@@ -7,6 +7,9 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
   print the figure-style run rendering plus the specification check;
 * ``compare``  — decision-time statistics and domination verdicts for several
   protocols over a random ensemble;
+* ``sweep``    — exhaustively verify a protocol over the enumerated adversary
+  space of a context on the batch engine (or the reference oracle), with an
+  optional multiprocessing executor;
 * ``figure4``  — regenerate the paper's headline uniform-consensus comparison
   for a chosen ``k`` and ``⌊t/k⌋``;
 * ``surgery``  — apply the Lemma 2 surgery on the Fig. 2 adversary and print
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .adversaries import (
@@ -35,6 +39,7 @@ from .baselines import EarlyDecidingKSet, FloodMin, UniformEarlyDecidingKSet
 from .core import Opt0, OptMin, UOpt0, UPMin
 from .model import Context, Run
 from .verification import (
+    check_protocol,
     check_run_for_protocol,
     compare_protocols,
     demonstrate_unbeatability_mechanism,
@@ -49,6 +54,13 @@ PROTOCOLS = {
     "early": lambda k: EarlyDecidingKSet(k),
     "uearly": lambda k: UniformEarlyDecidingKSet(k),
 }
+
+
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"--processes must be >= 1, got {count}")
+    return count
 
 
 def _protocol(name: str, k: int):
@@ -93,7 +105,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     context = Context(n=args.n, t=args.t, k=args.k)
     adversaries = AdversaryGenerator(context, seed=args.seed).sample(args.samples)
     protocols = [_protocol(name, args.k) for name in args.protocols]
-    print(statistics_report(collect(protocols, adversaries, context.t)))
+    print(statistics_report(collect(protocols, adversaries, context.t, engine=args.engine)))
     print()
     reference_pool = protocols[1:] or [FloodMin(args.k)]
     for reference in reference_pool:
@@ -113,6 +125,74 @@ def cmd_figure4(args: argparse.Namespace) -> int:
         run = Run(protocol, scenario.adversary, t)
         print(f"  {protocol.name:45s} last correct decision at time {run.last_decision_time()}")
     return 0
+
+
+#: Refuse unbounded sweeps larger than this (the batch engine does tens of
+#: thousands of adversaries per second; beyond this the user should restrict
+#: the space or cap it explicitly with --limit).
+MAX_UNBOUNDED_SWEEP = 200_000
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .adversaries.enumeration import enumerate_adversaries, estimate_adversary_count
+
+    from .engine import validate_engine_choice
+
+    try:
+        validate_engine_choice(args.engine, args.processes)
+    except ValueError as error:
+        print(error)
+        return 2
+    context = Context(n=args.n, t=args.t, k=args.k)
+    protocol = _protocol(args.protocol, args.k)
+    estimate = estimate_adversary_count(
+        context,
+        max_crash_round=args.max_crash_round,
+        receiver_policy=args.receiver_policy,
+        max_failures=args.max_failures,
+    )
+    if args.limit is None and estimate > MAX_UNBOUNDED_SWEEP:
+        print(
+            f"refusing to enumerate ~{estimate:,} adversaries without --limit "
+            f"(threshold {MAX_UNBOUNDED_SWEEP:,}); restrict the space with "
+            f"--max-crash-round / --max-failures / --receiver-policy none, "
+            f"or cap it with --limit"
+        )
+        return 2
+    adversaries = list(
+        enumerate_adversaries(
+            context,
+            max_crash_round=args.max_crash_round,
+            receiver_policy=args.receiver_policy,
+            max_failures=args.max_failures,
+            limit=args.limit,
+        )
+    )
+    start = time.perf_counter()
+    report = check_protocol(
+        protocol,
+        adversaries,
+        context.t,
+        engine=args.engine,
+        processes=args.processes,
+    )
+    elapsed = time.perf_counter() - start
+    rate = report.runs_checked / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"sweep of {protocol.name} over n={args.n}, t={args.t}, k={args.k} "
+        f"({args.receiver_policy} deliveries): {report.runs_checked} adversaries"
+    )
+    print(report.summary())
+    print(f"engine={args.engine}, {elapsed:.2f}s ({rate:,.0f} adversaries/s)")
+    if report.violations:
+        for index, violation in report.violations[:10]:
+            print(f"  adversary #{index}: {violation}")
+    if report.runs_checked == 0:
+        # An exhaustive-verification command must not succeed vacuously
+        # (e.g. a negative --max-failures empties the space).
+        print("no adversaries were enumerated — nothing was verified; check the restriction flags")
+        return 2
+    return 0 if report.ok else 1
 
 
 def cmd_surgery(args: argparse.Namespace) -> int:
@@ -161,7 +241,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=["optmin", "early", "floodmin"],
         choices=sorted(PROTOCOLS),
     )
+    compare_parser.add_argument(
+        "--engine", default="batch", choices=["batch", "reference"], help="execution engine"
+    )
     compare_parser.set_defaults(func=cmd_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="exhaustively verify a protocol over an enumerated adversary space"
+    )
+    _add_context_arguments(sweep_parser)
+    sweep_parser.add_argument("--protocol", default="optmin", choices=sorted(PROTOCOLS))
+    sweep_parser.add_argument(
+        "--engine", default="batch", choices=["batch", "reference"], help="execution engine"
+    )
+    sweep_parser.add_argument(
+        "--processes",
+        type=_worker_count,
+        default=None,
+        help="multiprocessing workers, >= 1 (batch engine only)",
+    )
+    sweep_parser.add_argument(
+        "--max-crash-round", type=int, default=None, help="latest enumerated crash round"
+    )
+    sweep_parser.add_argument(
+        "--receiver-policy",
+        default="canonical",
+        choices=["all", "canonical", "none"],
+        help="crashing-round delivery subsets to enumerate",
+    )
+    sweep_parser.add_argument(
+        "--max-failures", type=int, default=None, help="cap the number of crashes below t"
+    )
+    sweep_parser.add_argument(
+        "--limit", type=int, default=None, help="truncate the adversary stream (smoke runs)"
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     figure4_parser = subparsers.add_parser("figure4", help="regenerate the Fig. 4 comparison")
     figure4_parser.add_argument("-k", type=int, default=3)

@@ -66,6 +66,12 @@ class OptMinWithExplanation(OptMin):
     whether the decision was triggered by being low or by the hidden capacity
     dropping below ``k``.  Used by examples and by the FIG2 benchmark, which
     reports how often each trigger fires.
+
+    Because ``decide`` mutates ``self.reasons``, run it on the reference
+    engine (:class:`repro.model.run.Run`) only: the batch engine evaluates
+    decision rules once per equivalence class of adversaries (and in worker
+    processes under multiprocessing), so the recorded reasons would cover
+    only group representatives.
     """
 
     name = "Optmin[k] (instrumented)"

@@ -1,0 +1,50 @@
+"""Batch execution engine: prefix-sharing sweeps over adversary spaces.
+
+The reference engine (:class:`repro.model.run.Run`) simulates one adversary
+at a time and is the semantic oracle of this library.  This package is the
+throughput path: it schedules a whole family of adversaries on a trie keyed
+by (input vector, crash-event round-prefix), simulates every shared round
+prefix exactly once on flat copy-on-write arrays, and evaluates decision
+rules once per equivalence class instead of once per adversary.
+
+Public surface:
+
+* :class:`SweepRunner` / :func:`sweep` — run a batch, optionally on a
+  ``multiprocessing`` pool, and aggregate results;
+* :class:`BatchRun` — per-adversary outcome with the ``Run`` read API;
+* :class:`SweepReport` — sharing-factor bookkeeping of the last sweep;
+* :class:`ArrayView`, :class:`BatchContext`, :class:`StructLayer` — the
+  array-backed view layer (mostly useful for tests and instrumentation);
+* :class:`PrefixScheduler` — the level-synchronous trie driver.
+
+See ``docs/engine.md`` for the architecture notes and
+``tests/test_engine_differential.py`` / ``tests/test_exhaustive.py`` for the
+differential harness pinning this engine to the oracle.
+"""
+
+from .arrays import ArrayView, BatchContext, StructLayer
+from .sweep import (
+    ENGINES,
+    BatchRun,
+    SweepReport,
+    SweepRunner,
+    sweep,
+    validate_engine_choice,
+)
+from .trie import PrefixScheduler, PreparedAdversary, batch_system_size, prepare_adversaries
+
+__all__ = [
+    "ENGINES",
+    "ArrayView",
+    "BatchContext",
+    "BatchRun",
+    "PrefixScheduler",
+    "PreparedAdversary",
+    "StructLayer",
+    "SweepReport",
+    "SweepRunner",
+    "batch_system_size",
+    "prepare_adversaries",
+    "sweep",
+    "validate_engine_choice",
+]

@@ -1,0 +1,420 @@
+"""Array-backed view state for the batch execution engine.
+
+The reference engine (:mod:`repro.model.run`) materialises one
+:class:`repro.model.view.View` object — three tuples plus a senders record —
+per process per time per adversary.  On the batch path that churn dominates
+the cost of a sweep, so this module replaces it with *structure layers*:
+
+* A :class:`StructLayer` holds, for one equivalence class of adversaries (all
+  failure patterns agreeing on the crash events of rounds ``1 .. m``), the
+  flat ``latest_seen`` / ``earliest_evidence`` integer rows of every process
+  active at time ``m``.  Crucially the structure of a view — which nodes are
+  seen, which are provably crashed, which are hidden — does not depend on the
+  input vector at all, so one ``StructLayer`` is shared by *every* input
+  vector crossed with the patterns of its class.  Expensive purely-structural
+  summaries (hidden capacity, known-failure counts, seen-process lists) are
+  computed once per layer and reused across the whole cross product.
+* Layers are copy-on-write: a child layer copies a parent row only when the
+  round's deliveries actually change it; untouched evidence rows are shared
+  by reference with the parent.
+* :class:`ArrayView` is a thin, lazily-evaluated adapter giving one process's
+  slice of a layer the read API of :class:`repro.model.view.View`, and
+  :class:`BatchContext` mirrors :class:`repro.model.run.RoundContext` so the
+  unmodified protocol decision rules run unchanged on the batch path.
+
+Evidence entries use the integer sentinel :data:`NO_EVIDENCE_INT` instead of
+``math.inf`` so rows stay homogeneous int tuples; the :class:`ArrayView`
+accessors translate back to the ``View`` conventions where needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..model.failure_pattern import CrashEvent
+from ..model.run import evaluate_knows_persist
+from ..model.types import ProcessId, ProcessTimeNode, Time, Value
+
+#: Integer stand-in for ``repro.model.view.NO_EVIDENCE`` (``math.inf``).
+#: Any value larger than every reachable round works; it only ever enters
+#: ``<`` / ``<=`` comparisons against round numbers.
+NO_EVIDENCE_INT = 1 << 30
+
+
+class StructLayer:
+    """The value-independent state of all active processes at one time.
+
+    One layer is shared by every adversary whose failure pattern agrees on
+    the crash events of rounds ``1 .. time`` — later crashes cannot have
+    influenced any view yet — and by every input vector, since message
+    delivery (and hence the seen / crashed / hidden classification) is blind
+    to initial values.
+    """
+
+    __slots__ = (
+        "time",
+        "n",
+        "parent",
+        "rows_seen",
+        "rows_evidence",
+        "inactive",
+        "_hc",
+        "_kf",
+        "_seen0",
+        "_prev_seen",
+    )
+
+    def __init__(
+        self,
+        time: Time,
+        n: int,
+        parent: Optional["StructLayer"],
+        rows_seen: List[Optional[Tuple[int, ...]]],
+        rows_evidence: List[Optional[Tuple[int, ...]]],
+        inactive: FrozenSet[ProcessId],
+    ) -> None:
+        self.time = time
+        self.n = n
+        self.parent = parent
+        #: Per-process ``latest_seen`` row (``None`` for processes with no
+        #: state at this time, i.e. crashed in some round ``<= time``).
+        self.rows_seen = rows_seen
+        #: Per-process ``earliest_evidence`` row (ints, :data:`NO_EVIDENCE_INT`).
+        self.rows_evidence = rows_evidence
+        #: Processes with no node at this time.
+        self.inactive = inactive
+        # Lazily computed per-process structural summaries.
+        self._hc: List[Optional[int]] = [None] * n
+        self._kf: List[Optional[int]] = [None] * n
+        self._seen0: List[Optional[Tuple[int, ...]]] = [None] * n
+        self._prev_seen: List[Optional[Tuple[int, ...]]] = [None] * n
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def root(n: int) -> "StructLayer":
+        """The time-0 layer: every process knows exactly its own initial node."""
+        rows_seen: List[Optional[Tuple[int, ...]]] = [
+            tuple(0 if j == i else -1 for j in range(n)) for i in range(n)
+        ]
+        no_evidence = (NO_EVIDENCE_INT,) * n
+        rows_evidence: List[Optional[Tuple[int, ...]]] = [no_evidence] * n
+        return StructLayer(0, n, None, rows_seen, rows_evidence, frozenset())
+
+    def child(self, events_at_round: Sequence[CrashEvent]) -> "StructLayer":
+        """Advance one round: apply the crash events of round ``time + 1``.
+
+        Mirrors ``Run._simulate``'s inner loop exactly, but for a whole
+        equivalence class of adversaries at once and without building
+        ``View`` objects.
+        """
+        n = self.n
+        m = self.time + 1
+        crashing: Dict[ProcessId, CrashEvent] = {e.process: e for e in events_at_round}
+        inactive = self.inactive.union(crashing)
+        rows_seen: List[Optional[Tuple[int, ...]]] = [None] * n
+        rows_evidence: List[Optional[Tuple[int, ...]]] = [None] * n
+        parent_seen = self.rows_seen
+        parent_evidence = self.rows_evidence
+
+        for i in range(n):
+            if i in inactive:
+                continue
+            ls = list(parent_seen[i])
+            ev_row = parent_evidence[i]
+            ev = list(ev_row)
+            ev_changed = False
+            ls[i] = m
+            for j in range(n):
+                if j == i:
+                    continue
+                if j in self.inactive:
+                    # Crashed before this round: no message, hence (possibly
+                    # fresh) direct evidence — e.g. a crasher that delivered
+                    # its whole crashing round and only now falls silent.
+                    if m < ev[j]:
+                        ev[j] = m
+                        ev_changed = True
+                    continue
+                event = crashing.get(j)
+                if event is not None and i not in event.receivers:
+                    # Round-m message from j never arrived: direct evidence.
+                    if m < ev[j]:
+                        ev[j] = m
+                        ev_changed = True
+                    continue
+                sj_ls = parent_seen[j]
+                sj_ev = parent_evidence[j]
+                for p in range(n):
+                    if sj_ls[p] > ls[p]:
+                        ls[p] = sj_ls[p]
+                    if sj_ev[p] < ev[p]:
+                        ev[p] = sj_ev[p]
+                        ev_changed = True
+                if ls[j] < m - 1:
+                    ls[j] = m - 1
+            rows_seen[i] = tuple(ls)
+            # Copy-on-write: share the parent's evidence row when the round
+            # produced no new crash evidence for this observer.
+            rows_evidence[i] = tuple(ev) if ev_changed else ev_row
+        return StructLayer(m, n, self, rows_seen, rows_evidence, inactive)
+
+    # ------------------------------------------------------------- summaries
+    def hidden_capacity(self, process: ProcessId) -> int:
+        """``HC<process, time>`` — shared across every adversary of the class."""
+        cached = self._hc[process]
+        if cached is None:
+            ls = self.rows_seen[process]
+            ev = self.rows_evidence[process]
+            n = self.n
+            best = n
+            for layer in range(self.time + 1):
+                count = 0
+                for j in range(n):
+                    if ls[j] < layer < ev[j]:
+                        count += 1
+                if count < best:
+                    best = count
+                    if best == 0:
+                        break
+            cached = self._hc[process] = best
+        return cached
+
+    def known_failure_count(self, process: ProcessId) -> int:
+        """Number of processes the observer holds crash evidence for."""
+        cached = self._kf[process]
+        if cached is None:
+            ev = self.rows_evidence[process]
+            cached = self._kf[process] = sum(1 for e in ev if e < NO_EVIDENCE_INT)
+        return cached
+
+    def seen_initial(self, process: ProcessId) -> Tuple[int, ...]:
+        """Processes whose time-0 node (hence initial value) the observer has seen."""
+        cached = self._seen0[process]
+        if cached is None:
+            ls = self.rows_seen[process]
+            cached = self._seen0[process] = tuple(j for j in range(self.n) if ls[j] >= 0)
+        return cached
+
+    def previous_layer_seen(self, process: ProcessId) -> Tuple[int, ...]:
+        """Seen nodes ``<j, time-1>`` with a state in the parent layer (Definition 3)."""
+        cached = self._prev_seen[process]
+        if cached is None:
+            if self.parent is None:
+                cached = ()
+            else:
+                ls = self.rows_seen[process]
+                threshold = self.time - 1
+                parent_seen = self.parent.rows_seen
+                cached = tuple(
+                    j
+                    for j in range(self.n)
+                    if ls[j] >= threshold and parent_seen[j] is not None
+                )
+            self._prev_seen[process] = cached
+        return cached
+
+    def ancestor(self, time: Time) -> "StructLayer":
+        """The layer of this class at an earlier ``time`` (walks the parent chain)."""
+        layer = self
+        while layer.time > time:
+            layer = layer.parent
+        return layer
+
+
+class ArrayView:
+    """One process's slice of a :class:`StructLayer` under one input vector.
+
+    Implements the read API of :class:`repro.model.view.View` that protocol
+    decision rules (and introspection helpers) use, backed by the shared
+    layer arrays instead of per-adversary tuples.
+    """
+
+    __slots__ = ("_layer", "_process", "_values", "_min")
+
+    def __init__(self, layer: StructLayer, process: ProcessId, values: Tuple[Value, ...]) -> None:
+        self._layer = layer
+        self._process = process
+        self._values = values
+        self._min: Optional[Value] = None
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def process(self) -> ProcessId:
+        return self._process
+
+    @property
+    def time(self) -> Time:
+        return self._layer.time
+
+    @property
+    def n(self) -> int:
+        return self._layer.n
+
+    @property
+    def node(self) -> ProcessTimeNode:
+        return ProcessTimeNode(self._process, self._layer.time)
+
+    @property
+    def latest_seen(self) -> Tuple[int, ...]:
+        return self._layer.rows_seen[self._process]
+
+    @property
+    def earliest_evidence(self) -> Tuple[float, ...]:
+        """Evidence row in ``View`` conventions (``math.inf`` for no evidence)."""
+        return tuple(
+            math.inf if e >= NO_EVIDENCE_INT else e
+            for e in self._layer.rows_evidence[self._process]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayView(p{self._process}@t{self._layer.time}, "
+            f"seen={list(self.latest_seen)}, vals={sorted(self.values())})"
+        )
+
+    # ----------------------------------------------------------- node status
+    def is_seen(self, node: ProcessTimeNode) -> bool:
+        return node.time <= self._layer.rows_seen[self._process][node.process]
+
+    def is_guaranteed_crashed(self, node: ProcessTimeNode) -> bool:
+        return self._layer.rows_evidence[self._process][node.process] <= node.time
+
+    def is_hidden(self, node: ProcessTimeNode) -> bool:
+        return not self.is_seen(node) and not self.is_guaranteed_crashed(node)
+
+    def hidden_processes_at(self, layer: Time) -> FrozenSet[ProcessId]:
+        if layer < 0:
+            raise ValueError(f"layer must be >= 0, got {layer}")
+        ls = self._layer.rows_seen[self._process]
+        ev = self._layer.rows_evidence[self._process]
+        return frozenset(j for j in range(self._layer.n) if ls[j] < layer < ev[j])
+
+    def hidden_count_at(self, layer: Time) -> int:
+        if layer < 0:
+            raise ValueError(f"layer must be >= 0, got {layer}")
+        ls = self._layer.rows_seen[self._process]
+        ev = self._layer.rows_evidence[self._process]
+        count = 0
+        for j in range(self._layer.n):
+            if ls[j] < layer < ev[j]:
+                count += 1
+        return count
+
+    def hidden_profile(self) -> Tuple[int, ...]:
+        return tuple(self.hidden_count_at(layer) for layer in range(self.time + 1))
+
+    def seen_processes_at(self, layer: Time) -> FrozenSet[ProcessId]:
+        ls = self._layer.rows_seen[self._process]
+        return frozenset(j for j in range(self._layer.n) if ls[j] >= layer)
+
+    def known_crashed_processes(self) -> FrozenSet[ProcessId]:
+        ev = self._layer.rows_evidence[self._process]
+        return frozenset(j for j in range(self._layer.n) if ev[j] < NO_EVIDENCE_INT)
+
+    def known_failure_count(self) -> int:
+        return self._layer.known_failure_count(self._process)
+
+    # --------------------------------------------------------------- values
+    def knows_value(self, value: Value) -> bool:
+        values = self._values
+        for j in self._layer.seen_initial(self._process):
+            if values[j] == value:
+                return True
+        return False
+
+    def values(self) -> FrozenSet[Value]:
+        values = self._values
+        return frozenset(values[j] for j in self._layer.seen_initial(self._process))
+
+    def value_of(self, process: ProcessId) -> Optional[Value]:
+        if self._layer.rows_seen[self._process][process] < 0:
+            return None
+        return self._values[process]
+
+    def lows(self, k: int) -> FrozenSet[Value]:
+        return frozenset(v for v in self.values() if v < k)
+
+    def min_value(self) -> Value:
+        if self._min is None:
+            values = self._values
+            self._min = min(values[j] for j in self._layer.seen_initial(self._process))
+        return self._min
+
+    def is_low(self, k: int) -> bool:
+        return self.min_value() < k
+
+    def is_high(self, k: int) -> bool:
+        return not self.is_low(k)
+
+    # ------------------------------------------------------- hidden capacity
+    def hidden_capacity(self) -> int:
+        return self._layer.hidden_capacity(self._process)
+
+    def has_hidden_path(self) -> bool:
+        return self.hidden_capacity() >= 1
+
+
+class BatchContext:
+    """Drop-in replacement for :class:`repro.model.run.RoundContext`.
+
+    Provides the exact decision-rule surface — ``view``, ``previous_view``,
+    ``n``, ``t``, ``process``, ``time``, ``count_previous_layer_knowers``,
+    ``own_view_at``, ``knows_persist`` — backed by the shared layer chain, so
+    protocol implementations cannot tell which engine is driving them.
+    """
+
+    __slots__ = ("view", "previous_view", "n", "t", "_layer", "_values")
+
+    def __init__(
+        self,
+        layer: StructLayer,
+        process: ProcessId,
+        values: Tuple[Value, ...],
+        n: int,
+        t: int,
+    ) -> None:
+        self._layer = layer
+        self._values = values
+        self.n = n
+        self.t = t
+        self.view = ArrayView(layer, process, values)
+        parent = layer.parent
+        self.previous_view = (
+            ArrayView(parent, process, values)
+            if parent is not None and parent.rows_seen[process] is not None
+            else None
+        )
+
+    @property
+    def process(self) -> ProcessId:
+        return self.view.process
+
+    @property
+    def time(self) -> Time:
+        return self._layer.time
+
+    def count_previous_layer_knowers(self, value: Value) -> int:
+        """How many distinct seen nodes ``<j, m-1>`` have seen ``value``."""
+        layer = self._layer
+        parent = layer.parent
+        if parent is None:
+            return 0
+        values = self._values
+        count = 0
+        for j in layer.previous_layer_seen(self.view.process):
+            for p in parent.seen_initial(j):
+                if values[p] == value:
+                    count += 1
+                    break
+        return count
+
+    def own_view_at(self, time: Time) -> Optional[ArrayView]:
+        """The deciding process's own view at an earlier time (``None`` before 0)."""
+        if time < 0:
+            return None
+        return ArrayView(self._layer.ancestor(time), self.view.process, self._values)
+
+    def knows_persist(self, value: Value) -> bool:
+        """Definition 3 — the one implementation shared with ``RoundContext``."""
+        return evaluate_knows_persist(self, value)

@@ -1,0 +1,402 @@
+"""The batch sweep driver: simulate many adversaries of a context at once.
+
+:class:`SweepRunner` consumes any iterable of adversaries (exhaustive
+enumerations, random ensembles, hand-built scenario lists), schedules them on
+the prefix-sharing trie of :mod:`repro.engine.trie`, evaluates the protocol's
+decision rule once per trie group via the array-backed views of
+:mod:`repro.engine.arrays`, and reports one :class:`BatchRun` per adversary —
+a lightweight object exposing the read API of :class:`repro.model.run.Run`
+(decisions, decision times, decided values) so the property checkers and the
+analysis/benchmark layers consume either engine interchangeably.
+
+The reference engine remains the oracle: the batch engine is differentially
+tested against it (``tests/test_engine_differential.py``,
+``tests/test_exhaustive.py``) and must produce bit-identical decisions and
+decision times on every adversary.
+
+An optional ``multiprocessing`` executor fans contiguous chunks of the
+adversary stream out to worker processes; chunks stay contiguous because
+enumeration order (patterns outer, input vectors inner) keeps prefix sharing
+high inside each chunk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.adversary import Adversary
+from ..model.run import default_horizon
+from ..model.types import Decision, ProcessId, Time, Value
+from .arrays import BatchContext
+from .trie import Group, PrefixScheduler, batch_system_size, prepare_adversaries
+
+#: A finalised (position, decisions, stop_time) triple as produced by the
+#: serial core — cheap to pickle back from worker processes.
+_RawOutcome = Tuple[int, Tuple[Decision, ...], int]
+
+
+class BatchRun:
+    """The outcome of one adversary in a sweep, with the ``Run`` read surface.
+
+    Exposes exactly the accessors the verification / analysis layers use on
+    :class:`repro.model.run.Run` — not the per-view introspection API, which
+    only exists on the reference engine (use a ``Run`` when you need views).
+    """
+
+    __slots__ = ("_protocol", "_adversary", "_t", "_horizon", "_decisions", "index", "stop_time")
+
+    def __init__(
+        self,
+        protocol,
+        adversary: Adversary,
+        t: int,
+        horizon: int,
+        decisions: Tuple[Decision, ...],
+        index: int,
+        stop_time: int,
+    ) -> None:
+        self._protocol = protocol
+        self._adversary = adversary
+        self._t = t
+        self._horizon = horizon
+        self._decisions: Dict[ProcessId, Decision] = {d.process: d for d in decisions}
+        #: Position of the adversary in the sweep input.
+        self.index = index
+        #: The time at which the trie branch of this adversary finalised.
+        self.stop_time = stop_time
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def adversary(self) -> Adversary:
+        return self._adversary
+
+    @property
+    def protocol(self):
+        return self._protocol
+
+    @property
+    def n(self) -> int:
+        return self._adversary.n
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    def decisions(self) -> Tuple[Decision, ...]:
+        return tuple(self._decisions[p] for p in sorted(self._decisions))
+
+    def decision(self, process: ProcessId) -> Optional[Decision]:
+        return self._decisions.get(process)
+
+    def decision_value(self, process: ProcessId) -> Optional[Value]:
+        d = self._decisions.get(process)
+        return None if d is None else d.value
+
+    def decision_time(self, process: ProcessId) -> Optional[Time]:
+        d = self._decisions.get(process)
+        return None if d is None else d.time
+
+    def decided_values(self, correct_only: bool = False) -> FrozenSet[Value]:
+        pattern = self._adversary.pattern
+        return frozenset(
+            d.value
+            for p, d in self._decisions.items()
+            if not correct_only or not pattern.is_faulty(p)
+        )
+
+    def correct_processes(self) -> FrozenSet[ProcessId]:
+        return self._adversary.pattern.correct
+
+    def last_decision_time(self, correct_only: bool = True) -> Optional[Time]:
+        pattern = self._adversary.pattern
+        times = [
+            d.time
+            for p, d in self._decisions.items()
+            if not correct_only or not pattern.is_faulty(p)
+        ]
+        return max(times) if times else None
+
+    def all_correct_decided(self) -> bool:
+        return all(p in self._decisions for p in self.correct_processes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchRun(#{self.index}, n={self.n}, decisions={len(self._decisions)}, "
+            f"stop_time={self.stop_time})"
+        )
+
+
+class SweepReport:
+    """Aggregate bookkeeping of one sweep (exposed by :meth:`SweepRunner.sweep`)."""
+
+    __slots__ = ("adversaries", "layers_computed", "reference_layer_estimate")
+
+    def __init__(self, adversaries: int, layers_computed: int, reference_layer_estimate: int) -> None:
+        #: Number of adversaries swept.
+        self.adversaries = adversaries
+        #: StructLayer simulations the trie actually performed.
+        self.layers_computed = layers_computed
+        #: Layer simulations the reference engine would have performed
+        #: (one per adversary per simulated time), for the sharing factor.
+        self.reference_layer_estimate = reference_layer_estimate
+
+    @property
+    def sharing_factor(self) -> float:
+        """How many reference layer simulations each trie layer replaced."""
+        if not self.layers_computed:
+            return 1.0
+        return self.reference_layer_estimate / self.layers_computed
+
+    def summary(self) -> str:
+        return (
+            f"swept {self.adversaries} adversaries with {self.layers_computed} shared "
+            f"layer simulations (~{self.sharing_factor:.1f}x structural sharing)"
+        )
+
+
+#: The engines every family-sweeping API can dispatch to.
+ENGINES = ("batch", "reference")
+
+
+def validate_engine_choice(engine: str, processes: Optional[int] = None) -> None:
+    """Validate an ``engine=`` selection (single owner of the dispatch rules).
+
+    Shared by :func:`repro.verification.checker.check_protocol`,
+    :func:`repro.analysis.decision_times.collect` / ``speedup_table`` and the
+    CLI, so a new engine or a changed constraint is added in one place.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose 'batch' or 'reference'")
+    if engine == "reference" and processes is not None:
+        raise ValueError(
+            "processes is only supported by the batch engine; "
+            "the reference engine runs one adversary at a time"
+        )
+
+
+def _apply_group_decisions(protocol, group: Group, n: int, t: int) -> None:
+    """Run the decision rule at every undecided active node of one trie group.
+
+    Decisions are recorded copy-on-write: the group's dict is replaced, never
+    mutated, because sibling groups may still share it.
+    """
+    layer = group.layer
+    added: Optional[Dict[ProcessId, Decision]] = None
+    time = layer.time
+    values = group.values
+    for i in group.undecided_active():
+        ctx = BatchContext(layer, i, values, n, t)
+        value = protocol.decide(ctx)
+        if value is not None:
+            if added is None:
+                added = {}
+            added[i] = Decision(i, value, time)
+    if added:
+        decisions = dict(group.decisions)
+        decisions.update(added)
+        group.decisions = decisions
+
+
+def _sweep_serial(
+    protocol, adversaries: Sequence[Adversary], t: int, horizon: int, n: Optional[int] = None
+) -> Tuple[List[_RawOutcome], int]:
+    """The serial core: one trie, level-synchronous, early-stopping per branch.
+
+    Returns raw outcomes ordered by input position plus the number of layer
+    simulations performed (for :class:`SweepReport`).
+    """
+    n, prepared = prepare_adversaries(adversaries, t, n)
+    results: List[Optional[_RawOutcome]] = [None] * len(prepared)
+    if not prepared:
+        return [], 0
+    scheduler = PrefixScheduler(n, prepared)
+
+    def finalize(key, group: Group) -> None:
+        decisions = tuple(group.decisions[p] for p in sorted(group.decisions))
+        stop_time = group.layer.time
+        for item in group.members:
+            results[item.pos] = (item.pos, decisions, stop_time)
+        scheduler.drop(key)
+
+    for key, group in list(scheduler.groups.items()):
+        _apply_group_decisions(protocol, group, n, t)
+        if group.all_active_decided():
+            finalize(key, group)
+
+    for time in range(1, horizon + 1):
+        if not scheduler.groups:
+            break
+        scheduler.advance()
+        for key, group in list(scheduler.groups.items()):
+            _apply_group_decisions(protocol, group, n, t)
+            if time == horizon or group.all_active_decided():
+                finalize(key, group)
+
+    # Completeness is an engine invariant: every branch must have finalized
+    # (at early stop or at the horizon).  A scheduler regression that drops a
+    # group must fail loudly here, not silently shrink an "exhaustive" sweep.
+    missing = [pos for pos, outcome in enumerate(results) if outcome is None]
+    if missing:
+        raise RuntimeError(
+            f"sweep scheduler failed to finalize {len(missing)} of {len(results)} "
+            f"adversaries (first missing position: {missing[0]})"
+        )
+    return results, scheduler.layers_computed
+
+
+def _sweep_chunk(payload) -> Tuple[List[_RawOutcome], int]:
+    """Worker entry point for the multiprocessing executor."""
+    protocol, chunk, t, horizon = payload
+    return _sweep_serial(protocol, chunk, t, horizon)
+
+
+class SweepRunner:
+    """Batch execution of one protocol over many adversaries.
+
+    The decision rule must be a pure function of its context (as every
+    full-information protocol's rule is by definition): the batch engine
+    evaluates ``decide`` once per trie equivalence class — not once per
+    adversary — and in forked workers when ``processes`` is set, so
+    protocols that accumulate side state in ``decide`` (e.g. the
+    instrumented ``OptMinWithExplanation``) observe only group
+    representatives here and must use the reference engine instead.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol whose decision rule is swept (any
+        :class:`repro.core.protocol.Protocol`).
+    t:
+        The a-priori crash bound given to the protocol.
+    horizon:
+        Simulation horizon; defaults to the protocol's declared worst case
+        plus one round of slack, exactly like the reference engine.
+    processes:
+        ``None`` or ``1`` for in-process execution; ``>= 2`` to fan chunks of
+        the sweep out to a ``multiprocessing`` pool.
+    chunk_size:
+        Adversaries per worker task (default: an even split into
+        ``2 × processes`` contiguous chunks, preserving enumeration-order
+        prefix locality).
+    """
+
+    def __init__(
+        self,
+        protocol,
+        t: int,
+        horizon: Optional[int] = None,
+        processes: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.protocol = protocol
+        self.t = t
+        self.horizon = horizon
+        self.processes = processes
+        self.chunk_size = chunk_size
+        self.last_report: Optional[SweepReport] = None
+
+    # ------------------------------------------------------------------ sweeps
+    def sweep(self, adversaries: Iterable[Adversary]) -> List[BatchRun]:
+        """Simulate every adversary; results are ordered like the input."""
+        if self.protocol is None:
+            # The reference engine supports bare full-information runs because
+            # its product is views; a batch sweep's product is decisions, so a
+            # protocol-less sweep could only ever return empty results.
+            raise ValueError(
+                "SweepRunner requires a protocol; for bare full-information "
+                "runs (views, no decisions) use repro.model.Run / execute_many"
+            )
+        batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+        if not batch:
+            self.last_report = SweepReport(0, 0, 0)
+            return []
+        # Validate homogeneity before any chunking: worker processes only see
+        # their own slice, so a mixed batch aligned with chunk boundaries
+        # would otherwise be accepted with a wrong horizon for part of it.
+        n = batch_system_size(batch)
+        horizon = default_horizon(self.protocol, n, self.t, self.horizon)
+
+        if self.processes is not None and self.processes > 1 and len(batch) > 1:
+            raw, layers = self._sweep_parallel(batch, horizon)
+        else:
+            raw, layers = _sweep_serial(self.protocol, batch, self.t, horizon, n)
+
+        runs = [
+            BatchRun(self.protocol, batch[pos], self.t, horizon, decisions, pos, stop_time)
+            for pos, decisions, stop_time in raw
+        ]
+        reference_layers = sum(run.stop_time + 1 for run in runs)
+        self.last_report = SweepReport(len(runs), layers, reference_layers)
+        return runs
+
+    def _sweep_parallel(
+        self, batch: Sequence[Adversary], horizon: int
+    ) -> Tuple[List[_RawOutcome], int]:
+        import multiprocessing
+
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(batch) / (2 * self.processes)))
+        chunks = [batch[start : start + chunk_size] for start in range(0, len(batch), chunk_size)]
+        payloads = [(self.protocol, list(chunk), self.t, horizon) for chunk in chunks]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with context.Pool(processes=self.processes) as pool:
+            chunk_results = pool.map(_sweep_chunk, payloads)
+        raw: List[_RawOutcome] = []
+        layers = 0
+        offset = 0
+        for chunk, (chunk_raw, chunk_layers) in zip(chunks, chunk_results):
+            raw.extend((offset + pos, decisions, stop) for pos, decisions, stop in chunk_raw)
+            layers += chunk_layers
+            offset += len(chunk)
+        # Same completeness invariant the serial core enforces: a chunking or
+        # reassembly bug must fail loudly, never shrink an "exhaustive" sweep.
+        if len(raw) != len(batch):
+            raise RuntimeError(
+                f"parallel sweep reassembled {len(raw)} of {len(batch)} adversaries"
+            )
+        return raw, layers
+
+    # ------------------------------------------------------------ aggregation
+    def decision_times(
+        self, adversaries: Iterable[Adversary], correct_only: bool = True
+    ) -> List[Optional[Time]]:
+        """Last (correct) decision time per adversary, in input order."""
+        return [run.last_decision_time(correct_only=correct_only) for run in self.sweep(adversaries)]
+
+    def check(self, adversaries: Iterable[Adversary], enforce_paper_bound: bool = True):
+        """Sweep and fold every run through the property checkers.
+
+        Returns the same :class:`repro.verification.checker.CheckReport` the
+        reference checking path produces.
+        """
+        from ..verification.checker import CheckReport
+        from ..verification.properties import check_run_for_protocol
+
+        report = CheckReport(protocol=getattr(self.protocol, "name", "protocol"))
+        for run in self.sweep(adversaries):
+            report.record(run.index, run, check_run_for_protocol(run, enforce_paper_bound))
+        return report
+
+
+def sweep(
+    protocol,
+    adversaries: Iterable[Adversary],
+    t: int,
+    horizon: Optional[int] = None,
+    processes: Optional[int] = None,
+) -> List[BatchRun]:
+    """Convenience wrapper: batch-simulate ``protocol`` against ``adversaries``."""
+    return SweepRunner(protocol, t, horizon=horizon, processes=processes).sweep(adversaries)

@@ -27,6 +27,31 @@ from .types import Decision, ProcessId, ProcessTimeNode, Time, Value
 from .view import NEVER_SEEN, NO_EVIDENCE, View
 
 
+def evaluate_knows_persist(ctx, value: Value) -> bool:
+    """Definition 3 (*knows-persist*), shared by both engines' contexts.
+
+    ``ctx`` is any decision context exposing ``time``, ``t``, ``view``,
+    ``previous_view`` and ``count_previous_layer_knowers`` —
+    :class:`RoundContext` here or :class:`repro.engine.BatchContext` on the
+    batch path.  One body keeps the two engines' persistence semantics from
+    ever drifting apart.
+
+    Either (a) ``m > 0``, the process is active at ``m`` and has seen
+    ``value`` by time ``m-1``; or (b) the process currently sees at least
+    ``t - d`` distinct time-``(m-1)`` nodes that have seen ``value``, where
+    ``d`` is the number of failures it knows of.
+    """
+    if ctx.time > 0 and ctx.previous_view is not None and ctx.previous_view.knows_value(value):
+        return True
+    d = ctx.view.known_failure_count()
+    needed = ctx.t - d
+    if needed <= 0:
+        # The observer already knows of t failures: no further crash can
+        # occur, so every value it has seen is held by a correct process.
+        return ctx.view.knows_value(value)
+    return ctx.count_previous_layer_knowers(value) >= needed
+
+
 class RoundContext:
     """Everything a protocol's decision rule may look at when deciding at ``<i, m>``.
 
@@ -86,22 +111,25 @@ class RoundContext:
         return self._run.view(self.process, time)
 
     def knows_persist(self, value: Value) -> bool:
-        """Definition 3: whether the process knows that ``value`` will persist.
+        """Definition 3: whether the process knows that ``value`` will persist."""
+        return evaluate_knows_persist(self, value)
 
-        Either (a) ``m > 0``, the process is active at ``m`` and has seen
-        ``value`` by time ``m-1``; or (b) the process currently sees at least
-        ``t - d`` distinct time-``(m-1)`` nodes that have seen ``value``,
-        where ``d`` is the number of failures it knows of.
-        """
-        if self.time > 0 and self.previous_view is not None and self.previous_view.knows_value(value):
-            return True
-        d = self.view.known_failure_count()
-        needed = self.t - d
-        if needed <= 0:
-            # The observer already knows of t failures: no further crash can
-            # occur, so every value it has seen is held by a correct process.
-            return self.view.knows_value(value)
-        return self.count_previous_layer_knowers(value) >= needed
+
+def default_horizon(protocol, n: int, t: int, horizon: Optional[int] = None) -> int:
+    """Resolve the default simulation horizon for a run.
+
+    The single source of the policy shared by :class:`Run` and the batch
+    engine (:mod:`repro.engine`): the protocol's declared worst-case decision
+    time plus one round of slack, or ``t + 2`` without a protocol, never
+    below 1.  Keeping one helper guarantees both engines simulate identical
+    horizons (part of the differential contract).
+    """
+    if horizon is None:
+        if protocol is not None and hasattr(protocol, "max_decision_time"):
+            horizon = int(protocol.max_decision_time(n, t)) + 1
+        else:
+            horizon = t + 2
+    return max(horizon, 1)
 
 
 class Run:
@@ -139,12 +167,7 @@ class Run:
         self._adversary = adversary
         self._t = t
         self._n = adversary.n
-        if horizon is None:
-            if protocol is not None and hasattr(protocol, "max_decision_time"):
-                horizon = int(protocol.max_decision_time(self._n, t)) + 1
-            else:
-                horizon = t + 2
-        self._horizon = max(horizon, 1)
+        self._horizon = default_horizon(protocol, self._n, t, horizon)
         self._views: Dict[Tuple[ProcessId, Time], View] = {}
         self._decisions: Dict[ProcessId, Decision] = {}
         self._simulate()
@@ -346,6 +369,15 @@ def execute(protocol, adversary: Adversary, t: int, horizon: Optional[int] = Non
     return Run(protocol, adversary, t, horizon)
 
 
-def execute_many(protocol, adversaries: Iterable[Adversary], t: int) -> List[Run]:
-    """Simulate ``protocol`` against every adversary in ``adversaries``."""
-    return [Run(protocol, adversary, t) for adversary in adversaries]
+def execute_many(
+    protocol, adversaries: Iterable[Adversary], t: int, horizon: Optional[int] = None
+) -> List[Run]:
+    """Simulate ``protocol`` against every adversary in ``adversaries``.
+
+    ``horizon`` is forwarded to every :class:`Run` (it used to be silently
+    dropped, so bare full-information sweeps could not extend past the
+    default ``t + 2`` rounds).  For large families swept under a protocol,
+    prefer :class:`repro.engine.SweepRunner`, which shares work across
+    adversaries; bare ``protocol=None`` runs (views, no decisions) stay here.
+    """
+    return [Run(protocol, adversary, t, horizon) for adversary in adversaries]

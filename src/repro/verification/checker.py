@@ -6,6 +6,14 @@ every adversary of an enumerated or sampled family, applies the property
 checks of :mod:`repro.verification.properties`, and aggregates the outcome
 into a :class:`CheckReport` that the exhaustive tests and the PROP1/THM3
 benchmarks consume.
+
+Two execution engines are available (``engine=`` on every entry point):
+
+* ``"batch"`` (default) — the prefix-sharing batch engine of
+  :mod:`repro.engine`, which amortises simulation work across the family and
+  is the throughput path for exhaustive sweeps;
+* ``"reference"`` — one :class:`repro.model.run.Run` per adversary; the
+  semantic oracle the batch engine is differentially tested against.
 """
 
 from __future__ import annotations
@@ -36,8 +44,12 @@ class CheckReport:
         """Whether no violation was found."""
         return not self.violations
 
-    def record(self, index: int, run: Run, run_violations: List[Violation]) -> None:
-        """Fold one run's outcome into the report."""
+    def record(self, index: int, run, run_violations: List[Violation]) -> None:
+        """Fold one run's outcome into the report.
+
+        ``run`` may be a reference :class:`repro.model.run.Run` or a batch
+        :class:`repro.engine.BatchRun`; only the shared read API is used.
+        """
         self.runs_checked += 1
         for violation in run_violations:
             self.violations.append((index, violation))
@@ -63,13 +75,21 @@ def check_protocol(
     adversaries: Iterable[Adversary],
     t: int,
     enforce_paper_bound: bool = True,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> CheckReport:
     """Run ``protocol`` against every adversary and check its specification."""
-    report = CheckReport(protocol=getattr(protocol, "name", "protocol"))
-    for index, adversary in enumerate(adversaries):
-        run = Run(protocol, adversary, t)
-        report.record(index, run, check_run_for_protocol(run, enforce_paper_bound))
-    return report
+    from ..engine import SweepRunner, validate_engine_choice
+
+    validate_engine_choice(engine, processes)
+    if engine == "reference":
+        report = CheckReport(protocol=getattr(protocol, "name", "protocol"))
+        for index, adversary in enumerate(adversaries):
+            run = Run(protocol, adversary, t)
+            report.record(index, run, check_run_for_protocol(run, enforce_paper_bound))
+        return report
+    runner = SweepRunner(protocol, t, processes=processes)
+    return runner.check(adversaries, enforce_paper_bound)
 
 
 def check_protocols(
@@ -77,11 +97,13 @@ def check_protocols(
     adversaries: List[Adversary],
     t: int,
     enforce_paper_bound: bool = True,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> Dict[str, CheckReport]:
     """Check several protocols over the same adversary family."""
     return {
         getattr(protocol, "name", repr(protocol)): check_protocol(
-            protocol, adversaries, t, enforce_paper_bound
+            protocol, adversaries, t, enforce_paper_bound, engine=engine, processes=processes
         )
         for protocol in protocols
     }
@@ -94,6 +116,8 @@ def exhaustive_context_check(
     receiver_policy: str = "canonical",
     max_failures: Optional[int] = None,
     limit: Optional[int] = None,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> CheckReport:
     """Check a protocol over the (restricted) exhaustive adversary space of a context."""
     from ..adversaries.enumeration import enumerate_adversaries
@@ -105,4 +129,4 @@ def exhaustive_context_check(
         max_failures=max_failures,
         limit=limit,
     )
-    return check_protocol(protocol, adversaries, context.t)
+    return check_protocol(protocol, adversaries, context.t, engine=engine, processes=processes)

@@ -48,6 +48,17 @@ class TestCollect:
         assert stats["FloodMin"].worst_time == small_context.t // 2 + 1
         assert stats["Optmin[k]"].mean_time <= stats["FloodMin"].mean_time
 
+    def test_collect_accepts_one_shot_iterators(self, small_context, random_adversaries):
+        # Regression: a generator input must not be exhausted by the engine
+        # before the statistics zip over it (silently recording zero runs).
+        stats = collect(
+            [OptMin(2), FloodMin(2)],
+            iter(random_adversaries[:20]),
+            small_context.t,
+        )
+        assert stats["Optmin[k]"].runs == 20
+        assert stats["FloodMin"].runs == 20
+
     def test_collect_with_bound_function(self, small_context, random_adversaries):
         stats = collect(
             [OptMin(2)],

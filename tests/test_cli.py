@@ -50,6 +50,62 @@ class TestCompareCommand:
         assert "dominates" in out
 
 
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.protocol == "optmin"
+        assert args.engine == "batch"
+        assert args.processes is None
+
+    def test_batch_sweep_passes(self, capsys):
+        code = main(
+            ["sweep", "-n", "4", "-t", "2", "-k", "2",
+             "--max-crash-round", "2", "--limit", "1500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK over 1500 runs" in out
+        assert "engine=batch" in out
+
+    def test_processes_rejected_on_reference_engine(self, capsys):
+        assert main(["sweep", "--engine", "reference", "--processes", "4"]) == 2
+        assert "only supported by the batch engine" in capsys.readouterr().out
+
+    def test_nonpositive_worker_counts_rejected(self):
+        for bad in ("0", "-8"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--processes", bad])
+
+    def test_empty_space_is_not_vacuously_ok(self, capsys):
+        # A negative --max-failures empties the adversary space; an
+        # exhaustive-verification command must not report success for it.
+        code = main(["sweep", "-n", "3", "-t", "1", "-k", "1", "--max-failures", "-1"])
+        assert code == 2
+        assert "nothing was verified" in capsys.readouterr().out
+
+    def test_unbounded_sweep_of_huge_space_refused(self, capsys):
+        # The default n=7, t=4 context enumerates an astronomically large
+        # space; without --limit the command must refuse instead of hanging.
+        assert main(["sweep"]) == 2
+        out = capsys.readouterr().out
+        assert "refusing to enumerate" in out
+        assert "--limit" in out
+
+    def test_reference_engine_sweep(self, capsys):
+        code = main(
+            ["sweep", "-n", "3", "-t", "1", "-k", "1", "--protocol", "upmin",
+             "--receiver-policy", "none", "--limit", "200"]
+        )
+        assert code == 0
+        assert "engine=batch" in capsys.readouterr().out
+        code = main(
+            ["sweep", "-n", "3", "-t", "1", "-k", "1", "--protocol", "upmin",
+             "--engine", "reference", "--receiver-policy", "none", "--limit", "200"]
+        )
+        assert code == 0
+        assert "engine=reference" in capsys.readouterr().out
+
+
 class TestFigure4Command:
     def test_figure4_reports_gap(self, capsys):
         assert main(["figure4", "-k", "3", "--rounds", "4"]) == 0

@@ -8,7 +8,55 @@ from repro.adversaries import (
     enumerate_failure_patterns,
     enumerate_input_vectors,
 )
+from repro.adversaries.enumeration import estimate_adversary_count
 from repro.model import Context
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("policy", ["none", "canonical", "all"])
+    @pytest.mark.parametrize("max_crash_round", [None, 1, 2])
+    def test_closed_form_matches_direct_count(self, policy, max_crash_round):
+        context = Context(n=3, t=2, k=1, max_value=1)
+        assert estimate_adversary_count(
+            context, max_crash_round=max_crash_round, receiver_policy=policy
+        ) == count_adversaries(
+            context, max_crash_round=max_crash_round, receiver_policy=policy
+        )
+
+    def test_closed_form_matches_with_max_failures(self):
+        context = Context(n=4, t=2, k=2)
+        assert estimate_adversary_count(
+            context, max_crash_round=2, max_failures=1
+        ) == count_adversaries(context, max_crash_round=2, max_failures=1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="receiver policy"):
+            estimate_adversary_count(Context(n=3, t=1, k=1), receiver_policy="bogus")
+
+    def test_max_crash_round_zero_means_failure_free_only(self):
+        # Regression: 0 used to be coerced to the context horizon (falsy-zero
+        # `or`), silently enumerating the full crashing space.
+        context = Context(n=3, t=2, k=1, max_value=1)
+        adversaries = list(enumerate_adversaries(context, max_crash_round=0))
+        assert adversaries and all(a.num_failures == 0 for a in adversaries)
+        assert estimate_adversary_count(context, max_crash_round=0) == len(adversaries)
+
+    def test_limit_zero_yields_nothing(self):
+        # Regression: the post-yield limit check used to emit one adversary
+        # for limit<=0, letting a `sweep --limit 0` succeed vacuously.
+        context = Context(n=3, t=1, k=1)
+        assert list(enumerate_adversaries(context, limit=0)) == []
+        assert list(enumerate_adversaries(context, limit=-5)) == []
+        assert len(list(enumerate_adversaries(context, limit=3))) == 3
+
+    def test_estimate_handles_negative_max_crash_round(self):
+        # Regression: negative rounds used to sum sign-garbled powers in the
+        # closed form while enumeration (range(1, 0) empty) yielded only the
+        # failure-free pattern.
+        context = Context(n=3, t=2, k=1, max_value=1)
+        assert estimate_adversary_count(
+            context, max_crash_round=-1
+        ) == count_adversaries(context, max_crash_round=-1) == 8
 
 
 class TestInputVectors:

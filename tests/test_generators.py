@@ -23,6 +23,13 @@ class TestAdversaryGenerator:
         b = AdversaryGenerator(small_context, seed=42).sample(20)
         assert a == b
 
+    def test_nonpositive_max_crash_round_rejected(self, small_context):
+        # Regression: 0 used to be silently coerced to the context horizon
+        # (falsy-zero `or`), sampling crashes the caller asked to exclude.
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="max_crash_round must be >= 1"):
+                AdversaryGenerator(small_context, seed=1, max_crash_round=bad)
+
     def test_different_seeds_differ(self, small_context):
         a = AdversaryGenerator(small_context, seed=1).sample(20)
         b = AdversaryGenerator(small_context, seed=2).sample(20)

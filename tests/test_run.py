@@ -116,3 +116,13 @@ class TestExecuteHelpers:
         runs = execute_many(OptMin(1), adversaries, t=1)
         assert len(runs) == 2
         assert all(r.all_correct_decided() for r in runs)
+
+    def test_execute_many_forwards_horizon(self):
+        # Regression: the horizon parameter used to be silently dropped, so
+        # bare full-information sweeps could not extend past the t+2 default.
+        adversaries = [adversary([0, 1, 1], []), adversary([1, 1, 1], [])]
+        runs = execute_many(None, adversaries, t=1, horizon=5)
+        assert all(r.horizon == 5 for r in runs)
+        assert all(r.has_view(0, 5) for r in runs)
+        # And the default without a protocol stays the historical t + 2.
+        assert all(r.horizon == 3 for r in execute_many(None, adversaries, t=1))
