@@ -7,13 +7,19 @@ the homological connectivity of its star complex.  Proposition 2 predicts that
 no vertex with capacity >= k has a star that fails the (k-1)-connectivity
 proxy; the converse direction (which the paper leaves open) is reported as
 data.
+
+The complexes are built on the batch engine (the default — the family is
+materialised once on the prefix-sharing trie) and every per-vertex lookup
+goes through the complex's memoised ``RunCache`` instead of re-simulating a
+reference ``Run`` per vertex, which is what this survey did before the
+view-materialisation port.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.model import Context, Run
+from repro.model import Context
 from repro.topology import build_restricted_complex, connectivity_profile
 
 from conftest import print_table
@@ -38,7 +44,7 @@ def run_survey():
         converse_holds = 0
         converse_cases = 0
         for adversary, process in pc.vertex_views.values():
-            run = Run(None, adversary, context.t, horizon=time)
+            run = pc.run_cache.get(adversary, context.t, horizon=time)
             if not run.has_view(process, time):
                 continue
             capacity = run.view(process, time).hidden_capacity()

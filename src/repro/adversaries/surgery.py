@@ -18,10 +18,14 @@ from its predecessor, and the chain heads are re-assigned the initial values
 
 :func:`lemma2_surgery` implements this transformation on adversaries (the
 failure pattern and input vector are what the external scheduler controls; the
-run is then re-simulated).  :func:`verify_surgery` re-runs the protocol on the
-surgered adversary and checks the lemma's guarantees, which is how the
-FIG2/FIG3 benchmarks and the unbeatability tests exercise the combinatorial
-proof constructively.
+run is then re-simulated).  :func:`verify_surgery` re-simulates the surgered
+adversary and checks the lemma's guarantees, which is how the FIG2/FIG3
+benchmarks and the unbeatability tests exercise the combinatorial proof
+constructively.  The re-simulation runs on either engine
+(``engine="batch"`` materialises the surgered views on the copy-on-write
+layer chain via :class:`repro.engine.LayerViews`; ``engine="reference"``
+keeps the per-adversary oracle ``Run``) — the checks are view-only and both
+paths are pinned together by ``tests/test_complex_differential.py``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ..model.adversary import Adversary
 from ..model.failure_pattern import CrashEvent, FailurePattern
 from ..model.run import Run
 from ..model.types import ProcessId, Time, Value
+from ..model.view import view_key
 
 
 @dataclass(frozen=True)
@@ -204,7 +209,13 @@ class SurgeryCheck:
         )
 
 
-def verify_surgery(original: Run, result: SurgeryResult, protocol=None, t: Optional[int] = None) -> SurgeryCheck:
+def verify_surgery(
+    original: Run,
+    result: SurgeryResult,
+    protocol=None,
+    t: Optional[int] = None,
+    engine: str = "batch",
+) -> SurgeryCheck:
     """Re-simulate the surgered adversary and check Lemma 2's guarantees.
 
     Checks, with ``r`` the original run and ``r'`` the surgered one:
@@ -213,13 +224,31 @@ def verify_surgery(original: Run, result: SurgeryResult, protocol=None, t: Optio
     * ``values[b] ∈ Vals<i^ℓ_b, ℓ>`` for every chain ``b`` and layer ``ℓ``;
     * ``Vals<i^ℓ_b, ℓ> \\ {values[b]} ⊆ Vals<i, ℓ>``;
     * ``HC<i^ℓ_b, ℓ> >= c - 1`` for every chain ``b`` and layer ``ℓ``.
+
+    ``engine="batch"`` (default) re-simulates on the copy-on-write layer
+    chain; passing a ``protocol`` forces the reference path (the batch chain
+    simulates bare views, and the pre-port behaviour of re-running under the
+    protocol — including its early stopping — is preserved for such
+    callers).  ``engine="reference"`` always re-runs the oracle ``Run``.
+    Indistinguishability is asserted through the canonical ``view_key``,
+    which is engine-agnostic.
     """
+    from ..engine.sweep import validate_engine_choice
+    from ..engine.views import LayerViews
+
+    validate_engine_choice(engine)
     t = original.t if t is None else t
-    surgered = Run(protocol, result.adversary, t, horizon=max(original.horizon, result.time))
+    horizon = max(original.horizon, result.time)
+    if engine == "batch" and protocol is None:
+        surgered = LayerViews(result.adversary, t, horizon)
+    else:
+        surgered = Run(protocol, result.adversary, t, horizon=horizon)
     observer, time = result.observer, result.time
     c = len(result.chains)
 
-    view_preserved = surgered.view(observer, time) == original.view(observer, time)
+    view_preserved = view_key(surgered.view(observer, time)) == view_key(
+        original.view(observer, time)
+    )
 
     values_delivered = True
     no_foreign = True

@@ -37,6 +37,7 @@ from .adversaries import (
 from .analysis import collect, render_run, statistics_report
 from .baselines import EarlyDecidingKSet, FloodMin, UniformEarlyDecidingKSet
 from .core import Opt0, OptMin, UOpt0, UPMin
+from .engine import ENGINES
 from .model import Context, Run
 from .verification import (
     check_protocol,
@@ -115,6 +116,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_figure4(args: argparse.Namespace) -> int:
+    from .engine import run_one
+
     scenario = figure4_scenario(k=args.k, rounds=args.rounds)
     t = scenario.context.t
     print(
@@ -122,7 +125,7 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     )
     for name in ("upmin", "optmin", "uearly", "early", "floodmin"):
         protocol = _protocol(name, args.k)
-        run = Run(protocol, scenario.adversary, t)
+        run = run_one(protocol, scenario.adversary, t, args.engine)
         print(f"  {protocol.name:45s} last correct decision at time {run.last_decision_time()}")
     return 0
 
@@ -196,17 +199,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_surgery(args: argparse.Namespace) -> int:
+    from .engine import LayerViews
+
+    # argparse's choices= already constrains --engine; verify_surgery
+    # re-validates for library callers.
     scenario = figure2_scenario(k=args.k, depth=args.depth)
-    base = Run(None, scenario.adversary, scenario.context.t, horizon=args.depth)
+    if args.engine == "reference":
+        base = Run(None, scenario.adversary, scenario.context.t, horizon=args.depth)
+    else:
+        base = LayerViews(scenario.adversary, scenario.context.t, horizon=args.depth)
     result = lemma2_surgery(base, scenario.observer, args.depth, list(range(args.k)))
-    check = verify_surgery(base, result)
-    print("Lemma 2 surgery on the Fig. 2 adversary")
+    check = verify_surgery(base, result, engine=args.engine)
+    print(f"Lemma 2 surgery on the Fig. 2 adversary (engine={args.engine})")
     print(f"  chains: {[list(chain) for chain in result.chains]}")
     print(f"  observer view preserved : {check.observer_view_preserved}")
     print(f"  values delivered        : {check.values_delivered}")
     print(f"  no foreign values       : {check.no_foreign_values}")
     print(f"  residual capacity >= k-1: {check.residual_capacity}")
-    mechanism = demonstrate_unbeatability_mechanism(args.k, args.depth)
+    mechanism = demonstrate_unbeatability_mechanism(args.k, args.depth, engine=args.engine)
     print("\nLemma 3 confrontation (can the observer be made to decide earlier?)")
     print(f"  Optmin decides values {mechanism['optmin_decided_values']} — within k={args.k}")
     print(
@@ -242,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROTOCOLS),
     )
     compare_parser.add_argument(
-        "--engine", default="batch", choices=["batch", "reference"], help="execution engine"
+        "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
     )
     compare_parser.set_defaults(func=cmd_compare)
 
@@ -252,7 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_context_arguments(sweep_parser)
     sweep_parser.add_argument("--protocol", default="optmin", choices=sorted(PROTOCOLS))
     sweep_parser.add_argument(
-        "--engine", default="batch", choices=["batch", "reference"], help="execution engine"
+        "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
     )
     sweep_parser.add_argument(
         "--processes",
@@ -280,11 +290,17 @@ def build_parser() -> argparse.ArgumentParser:
     figure4_parser = subparsers.add_parser("figure4", help="regenerate the Fig. 4 comparison")
     figure4_parser.add_argument("-k", type=int, default=3)
     figure4_parser.add_argument("--rounds", type=int, default=4, help="the adversary's ⌊t/k⌋")
+    figure4_parser.add_argument(
+        "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
+    )
     figure4_parser.set_defaults(func=cmd_figure4)
 
     surgery_parser = subparsers.add_parser("surgery", help="run the Lemma 2 surgery demonstration")
     surgery_parser.add_argument("-k", type=int, default=3)
     surgery_parser.add_argument("--depth", type=int, default=2)
+    surgery_parser.add_argument(
+        "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
+    )
     surgery_parser.set_defaults(func=cmd_surgery)
 
     return parser

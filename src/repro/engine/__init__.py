@@ -15,6 +15,10 @@ Public surface:
 * :class:`SweepReport` — sharing-factor bookkeeping of the last sweep;
 * :class:`ArrayView`, :class:`BatchContext`, :class:`StructLayer` — the
   array-backed view layer (mostly useful for tests and instrumentation);
+* :class:`ViewSource` / :class:`GroupViews` / :class:`LayerViews` — canonical
+  view materialisation for view consumers (protocol complexes, surgery,
+  knowledge), one computation per (prefix-class, input-class);
+* :class:`RunCache` — the memoised front for reference-run view lookups;
 * :class:`PrefixScheduler` — the level-synchronous trie driver.
 
 See ``docs/engine.md`` for the architecture notes and
@@ -28,23 +32,32 @@ from .sweep import (
     BatchRun,
     SweepReport,
     SweepRunner,
+    run_one,
+    runs_over_family,
     sweep,
     validate_engine_choice,
 )
 from .trie import PrefixScheduler, PreparedAdversary, batch_system_size, prepare_adversaries
+from .views import GroupViews, LayerViews, RunCache, ViewSource
 
 __all__ = [
     "ENGINES",
     "ArrayView",
     "BatchContext",
     "BatchRun",
+    "GroupViews",
+    "LayerViews",
     "PrefixScheduler",
     "PreparedAdversary",
+    "RunCache",
     "StructLayer",
     "SweepReport",
     "SweepRunner",
+    "ViewSource",
     "batch_system_size",
     "prepare_adversaries",
+    "run_one",
+    "runs_over_family",
     "sweep",
     "validate_engine_choice",
 ]

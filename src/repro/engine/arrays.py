@@ -25,11 +25,20 @@ the cost of a sweep, so this module replaces it with *structure layers*:
 Evidence entries use the integer sentinel :data:`NO_EVIDENCE_INT` instead of
 ``math.inf`` so rows stay homogeneous int tuples; the :class:`ArrayView`
 accessors translate back to the ``View`` conventions where needed.
+
+The per-layer inner loops are written as C-level kernels over the flat rows
+(ROADMAP vectorisation item, numpy-free): row merges run as single
+``map(max, ...)`` / ``map(min, ...)`` passes across all sender rows at once,
+copy-on-write sharing deduplicates evidence rows by identity before merging,
+and the hidden-capacity scan uses an ``array('i')`` difference accumulator —
+``O(n + m)`` per observer instead of the former ``O(n·m)`` layer-by-layer
+count.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..model.failure_pattern import CrashEvent
@@ -59,10 +68,15 @@ class StructLayer:
         "rows_seen",
         "rows_evidence",
         "inactive",
+        "events",
+        "_crashing",
         "_hc",
         "_kf",
         "_seen0",
         "_prev_seen",
+        "_senders",
+        "_round_senders",
+        "_ev_view",
     )
 
     def __init__(
@@ -73,6 +87,7 @@ class StructLayer:
         rows_seen: List[Optional[Tuple[int, ...]]],
         rows_evidence: List[Optional[Tuple[int, ...]]],
         inactive: FrozenSet[ProcessId],
+        events: Tuple[CrashEvent, ...] = (),
     ) -> None:
         self.time = time
         self.n = n
@@ -84,11 +99,22 @@ class StructLayer:
         self.rows_evidence = rows_evidence
         #: Processes with no node at this time.
         self.inactive = inactive
+        #: The crash events of the round that produced this layer (round
+        #: ``time``; empty for the root).  Kept so per-round sender sets —
+        #: hence canonical ``view_key``s — can be derived from the layer chain.
+        self.events = events
+        self._crashing: Optional[Dict[ProcessId, CrashEvent]] = None
         # Lazily computed per-process structural summaries.
         self._hc: List[Optional[int]] = [None] * n
         self._kf: List[Optional[int]] = [None] * n
         self._seen0: List[Optional[Tuple[int, ...]]] = [None] * n
         self._prev_seen: List[Optional[Tuple[int, ...]]] = [None] * n
+        # The view-materialisation caches (sender sets, View-convention
+        # evidence rows) are allocated on first use: plain decision sweeps
+        # never touch them, and the scheduler builds thousands of layers.
+        self._senders: Optional[List[Optional[FrozenSet[ProcessId]]]] = None
+        self._round_senders: Optional[List[Optional[Tuple[FrozenSet[ProcessId], ...]]]] = None
+        self._ev_view: Optional[List[Optional[Tuple[float, ...]]]] = None
 
     # ------------------------------------------------------------- factories
     @staticmethod
@@ -104,9 +130,15 @@ class StructLayer:
     def child(self, events_at_round: Sequence[CrashEvent]) -> "StructLayer":
         """Advance one round: apply the crash events of round ``time + 1``.
 
-        Mirrors ``Run._simulate``'s inner loop exactly, but for a whole
-        equivalence class of adversaries at once and without building
-        ``View`` objects.
+        Semantically identical to ``Run._simulate``'s inner loop, but for a
+        whole equivalence class of adversaries at once, without building
+        ``View`` objects, and with the per-element work done by C-level
+        kernels: the other processes are partitioned into round-``m`` senders
+        and silent processes once, then ``latest_seen`` is one
+        ``map(max, ...)`` pass over all sender rows and ``earliest_evidence``
+        one ``map(min, ...)`` pass over the *distinct* sender evidence rows
+        (copy-on-write makes most of them the same object, so identity
+        deduplication collapses the merge).
         """
         n = self.n
         m = self.time + 1
@@ -116,66 +148,106 @@ class StructLayer:
         rows_evidence: List[Optional[Tuple[int, ...]]] = [None] * n
         parent_seen = self.rows_seen
         parent_evidence = self.rows_evidence
+        parent_inactive = self.inactive
+        others = range(n)
+        threshold = m - 1
 
-        for i in range(n):
+        for i in others:
             if i in inactive:
                 continue
-            ls = list(parent_seen[i])
             ev_row = parent_evidence[i]
-            ev = list(ev_row)
-            ev_changed = False
-            ls[i] = m
-            for j in range(n):
+            # Partition: round-m senders vs silent processes.  A silent j is
+            # fresh direct evidence — either it crashed before this round (no
+            # message, e.g. a crasher that delivered its whole crashing round
+            # and only now falls silent) or its round-m message to i was lost.
+            senders: List[ProcessId] = []
+            sender_seen: List[Tuple[int, ...]] = []
+            evidence_rows: List[Tuple[int, ...]] = []
+            silent: List[ProcessId] = []
+            for j in others:
                 if j == i:
                     continue
-                if j in self.inactive:
-                    # Crashed before this round: no message, hence (possibly
-                    # fresh) direct evidence — e.g. a crasher that delivered
-                    # its whole crashing round and only now falls silent.
-                    if m < ev[j]:
-                        ev[j] = m
-                        ev_changed = True
+                if j in parent_inactive:
+                    silent.append(j)
                     continue
                 event = crashing.get(j)
                 if event is not None and i not in event.receivers:
-                    # Round-m message from j never arrived: direct evidence.
-                    if m < ev[j]:
-                        ev[j] = m
-                        ev_changed = True
+                    silent.append(j)
                     continue
-                sj_ls = parent_seen[j]
+                senders.append(j)
+                sender_seen.append(parent_seen[j])
                 sj_ev = parent_evidence[j]
-                for p in range(n):
-                    if sj_ls[p] > ls[p]:
-                        ls[p] = sj_ls[p]
-                    if sj_ev[p] < ev[p]:
-                        ev[p] = sj_ev[p]
-                        ev_changed = True
-                if ls[j] < m - 1:
-                    ls[j] = m - 1
+                if sj_ev is not ev_row:
+                    evidence_rows.append(sj_ev)
+
+            ls = list(parent_seen[i])
+            ls[i] = m
+            if sender_seen:
+                ls = list(map(max, ls, *sender_seen))
+                for j in senders:
+                    if ls[j] < threshold:
+                        ls[j] = threshold
             rows_seen[i] = tuple(ls)
-            # Copy-on-write: share the parent's evidence row when the round
-            # produced no new crash evidence for this observer.
-            rows_evidence[i] = tuple(ev) if ev_changed else ev_row
-        return StructLayer(m, n, self, rows_seen, rows_evidence, inactive)
+
+            # Evidence merge over distinct rows only (COW shares most of them).
+            ev: Optional[List[int]] = None
+            if evidence_rows:
+                if len(evidence_rows) > 1:
+                    distinct: List[Tuple[int, ...]] = []
+                    seen_ids = set()
+                    for row in evidence_rows:
+                        row_id = id(row)
+                        if row_id not in seen_ids:
+                            seen_ids.add(row_id)
+                            distinct.append(row)
+                    evidence_rows = distinct
+                ev = list(map(min, ev_row, *evidence_rows))
+            for j in silent:
+                current = ev_row[j] if ev is None else ev[j]
+                if m < current:
+                    if ev is None:
+                        ev = list(ev_row)
+                    ev[j] = m
+            if ev is None:
+                # No sender carried foreign evidence and no fresh silence:
+                # share the parent's row.
+                rows_evidence[i] = ev_row
+            else:
+                new_ev = tuple(ev)
+                # Copy-on-write: share the parent's evidence row when the
+                # round produced no new crash evidence for this observer.
+                rows_evidence[i] = ev_row if new_ev == ev_row else new_ev
+        return StructLayer(m, n, self, rows_seen, rows_evidence, inactive, tuple(events_at_round))
 
     # ------------------------------------------------------------- summaries
     def hidden_capacity(self, process: ProcessId) -> int:
-        """``HC<process, time>`` — shared across every adversary of the class."""
+        """``HC<process, time>`` — shared across every adversary of the class.
+
+        Process ``j`` is hidden at exactly the layers ``latest_seen[j]+1 ..
+        earliest_evidence[j]-1``, a contiguous range, so the per-layer hidden
+        counts are a difference-array prefix sum: ``O(n + time)`` instead of
+        scanning every (layer, process) pair.
+        """
         cached = self._hc[process]
         if cached is None:
             ls = self.rows_seen[process]
             ev = self.rows_evidence[process]
-            n = self.n
-            best = n
-            for layer in range(self.time + 1):
-                count = 0
-                for j in range(n):
-                    if ls[j] < layer < ev[j]:
-                        count += 1
+            top = self.time + 1  # exclusive upper bound on the layer index
+            diff = array("i", (0,)) * (top + 1)
+            for start, end in zip(ls, ev):
+                start += 1
+                if end > top:
+                    end = top
+                if start < end:
+                    diff[start] += 1
+                    diff[end] -= 1
+            best = self.n
+            count = 0
+            for delta in diff[:top]:
+                count += delta
                 if count < best:
                     best = count
-                    if best == 0:
+                    if not best:
                         break
             cached = self._hc[process] = best
         return cached
@@ -186,6 +258,23 @@ class StructLayer:
         if cached is None:
             ev = self.rows_evidence[process]
             cached = self._kf[process] = sum(1 for e in ev if e < NO_EVIDENCE_INT)
+        return cached
+
+    def evidence_view_row(self, process: ProcessId) -> Tuple[float, ...]:
+        """The evidence row in ``View`` conventions (``math.inf`` sentinel).
+
+        Cached per (layer, process): canonical view keys need it once per
+        equivalence class, not once per adversary.
+        """
+        cache = self._ev_view
+        if cache is None:
+            cache = self._ev_view = [None] * self.n
+        cached = cache[process]
+        if cached is None:
+            cached = cache[process] = tuple(
+                math.inf if e >= NO_EVIDENCE_INT else e
+                for e in self.rows_evidence[process]
+            )
         return cached
 
     def seen_initial(self, process: ProcessId) -> Tuple[int, ...]:
@@ -220,6 +309,56 @@ class StructLayer:
         while layer.time > time:
             layer = layer.parent
         return layer
+
+    # ------------------------------------------------------------ sender sets
+    def senders_of(self, process: ProcessId) -> FrozenSet[ProcessId]:
+        """The processes whose round-``time`` message reached ``process``.
+
+        Only meaningful for processes active at this layer; matches the
+        ``senders`` set the reference engine records on each ``View`` (other
+        processes active at ``time - 1`` that did not crash this round
+        without delivering to the receiver).  Empty at the root (no round has
+        happened yet).
+        """
+        cache = self._senders
+        if cache is None:
+            cache = self._senders = [None] * self.n
+        cached = cache[process]
+        if cached is None:
+            parent = self.parent
+            if parent is None:
+                cached = frozenset()
+            else:
+                crashing = self._crashing
+                if crashing is None:
+                    crashing = self._crashing = {e.process: e for e in self.events}
+                parent_seen = parent.rows_seen
+                cached = frozenset(
+                    j
+                    for j in range(self.n)
+                    if j != process
+                    and parent_seen[j] is not None
+                    and (j not in crashing or process in crashing[j].receivers)
+                )
+            cache[process] = cached
+        return cached
+
+    def round_senders_of(self, process: ProcessId) -> Tuple[FrozenSet[ProcessId], ...]:
+        """``View.round_senders`` for an active process: entry ``r-1`` is the
+        sender set of round ``r``, accumulated along the parent chain (and
+        cached per layer, so shared prefixes pay for it once)."""
+        cache = self._round_senders
+        if cache is None:
+            cache = self._round_senders = [None] * self.n
+        cached = cache[process]
+        if cached is None:
+            parent = self.parent
+            if parent is None:
+                cached = ()
+            else:
+                cached = parent.round_senders_of(process) + (self.senders_of(process),)
+            cache[process] = cached
+        return cached
 
 
 class ArrayView:
@@ -262,10 +401,14 @@ class ArrayView:
     @property
     def earliest_evidence(self) -> Tuple[float, ...]:
         """Evidence row in ``View`` conventions (``math.inf`` for no evidence)."""
-        return tuple(
-            math.inf if e >= NO_EVIDENCE_INT else e
-            for e in self._layer.rows_evidence[self._process]
-        )
+        return self._layer.evidence_view_row(self._process)
+
+    @property
+    def round_senders(self) -> Tuple[FrozenSet[ProcessId], ...]:
+        """Per-round sender sets in ``View`` conventions (derived from the
+        layer chain).  With this the canonical :func:`repro.model.view.view_key`
+        applies to either engine's views unchanged."""
+        return self._layer.round_senders_of(self._process)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

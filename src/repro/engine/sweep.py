@@ -26,7 +26,7 @@ import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.adversary import Adversary
-from ..model.run import default_horizon
+from ..model.run import Run, default_horizon
 from ..model.types import Decision, ProcessId, Time, Value
 from .arrays import BatchContext
 from .trie import Group, PrefixScheduler, batch_system_size, prepare_adversaries
@@ -400,3 +400,34 @@ def sweep(
 ) -> List[BatchRun]:
     """Convenience wrapper: batch-simulate ``protocol`` against ``adversaries``."""
     return SweepRunner(protocol, t, horizon=horizon, processes=processes).sweep(adversaries)
+
+
+def runs_over_family(
+    protocol,
+    adversaries: Iterable[Adversary],
+    t: int,
+    engine: str = "batch",
+    processes: Optional[int] = None,
+) -> Iterable:
+    """One run object per adversary via the selected engine, in input order.
+
+    The single owner of the run-level engine dispatch that every
+    family-sweeping consumer (domination, beatability, the CLI figures)
+    builds on.  The reference path yields lazily — one oracle
+    :class:`repro.model.run.Run` alive at a time, so streaming over a large
+    family keeps O(1) memory — while the batch path returns the materialised
+    sweep (:class:`BatchRun` objects are decision-sized, not view-sized).
+    """
+    validate_engine_choice(engine, processes)
+    if engine == "reference":
+        return (Run(protocol, adversary, t) for adversary in adversaries)
+    return SweepRunner(protocol, t, processes=processes).sweep(adversaries)
+
+
+def run_one(protocol, adversary: Adversary, t: int, engine: str = "batch"):
+    """The single-adversary convenience of :func:`runs_over_family`.
+
+    Used by entry points that execute one figure adversary under a selected
+    engine (``cli figure4``, the Lemma 3 confrontation).
+    """
+    return next(iter(runs_over_family(protocol, [adversary], t, engine)))

@@ -1,0 +1,334 @@
+"""Engine-agnostic view materialisation: canonical views from the trie.
+
+The topological side of the paper (Section 4.3, Proposition 2) reasons about
+complexes whose vertices are canonical local states — exactly the state the
+prefix-sharing trie already computes once per equivalence class.  Before this
+module, every view consumer (protocol-complex builders, the knowledge
+operators, the Lemma 2 surgery verifier) re-instantiated one reference
+:class:`repro.model.run.Run` per adversary — and sometimes one per vertex
+lookup.  This module is the shared substrate they now sit on:
+
+* :class:`ViewSource` schedules a whole adversary family on the trie
+  (:class:`repro.engine.trie.PrefixScheduler`, no protocol, no decisions),
+  advances it to a fixed time and exposes one :class:`GroupViews` per
+  (prefix-class, input-class) equivalence class.  Canonical view keys,
+  per-layer hidden sets and hidden-capacity witness matrices are computed
+  once per class and shared by every member adversary.
+* :class:`LayerViews` is the single-adversary specialisation: the ``Run``
+  view surface (``view`` / ``has_view`` / ``views_at``) materialised on the
+  copy-on-write layer chain — what the batch path of
+  :func:`repro.adversaries.surgery.verify_surgery` re-simulates surgered
+  adversaries with.
+* :class:`RunCache` keeps the reference engine as the oracle: a memoised
+  front for the scattered ``Run(None, adversary, t, horizon=...)`` call
+  sites, so repeated vertex lookups against the same adversary re-simulate
+  nothing.
+
+The canonical key of a view is :func:`repro.model.view.view_key` — the batch
+layers track per-round sender sets precisely so that the *same* key function
+applies to either engine's views, making batch- and reference-built complexes
+vertex-for-vertex identical (pinned by ``tests/test_complex_differential.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.adversary import Adversary
+from ..model.run import Run, default_horizon
+from ..model.types import ProcessId, Time
+from ..model.view import view_key
+from .arrays import ArrayView, StructLayer
+from .trie import PrefixScheduler, PreparedAdversary, prepare_adversaries
+
+#: A canonical view key as produced by :func:`repro.model.view.view_key` —
+#: identical for a reference ``View`` and a batch ``ArrayView`` of the same
+#: local state.
+ViewKey = Tuple
+
+
+class RunCache:
+    """Memoised bare full-information reference runs (the oracle path).
+
+    One cache replaces the scattered ``Run(None, adversary, t, horizon=...)``
+    call sites: every distinct ``(adversary, t, horizon)`` triple is simulated
+    exactly once, however many vertex lookups hit it.  ``hits`` / ``misses``
+    are exposed for instrumentation and tests.
+
+    Entries live as long as the cache does (a ``Run`` retains every view of
+    its execution), so survey-scale consumers should share one cache per
+    complex — as :class:`repro.topology.protocol_complex.ProtocolComplex`
+    does — and :meth:`clear` it when a sweep over a large family is done
+    with its lookups.
+    """
+
+    __slots__ = ("_runs", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple[Adversary, int, Optional[int]], Run] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, adversary: Adversary, t: int, horizon: Optional[int] = None) -> Run:
+        """The memoised bare run of ``adversary`` (simulated on first use).
+
+        The horizon is normalised through the shared ``default_horizon``
+        policy before keying, so equivalent requests (e.g. an explicit
+        ``horizon=0`` vs the clamped ``1``) share one simulation.
+        """
+        horizon = default_horizon(None, adversary.n, t, horizon)
+        key = (adversary, t, horizon)
+        run = self._runs.get(key)
+        if run is None:
+            self.misses += 1
+            run = self._runs[key] = Run(None, adversary, t, horizon=horizon)
+        else:
+            self.hits += 1
+        return run
+
+    def clear(self) -> None:
+        """Drop every retained run (the hit/miss counters are kept)."""
+        self._runs.clear()
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+
+class LayerViews:
+    """The ``Run`` view read surface for one adversary, on the layer chain.
+
+    Simulates the bare full-information exchange (no protocol, no decisions)
+    up to ``horizon`` on :class:`StructLayer` rows and serves
+    :class:`ArrayView` objects.  Drop-in for the view-lookup subset of the
+    reference ``Run`` API (``view`` raises ``KeyError`` for nodes without a
+    local state, exactly like ``Run.view``).
+    """
+
+    __slots__ = ("adversary", "t", "horizon", "_layers")
+
+    def __init__(self, adversary: Adversary, t: int, horizon: Time) -> None:
+        adversary.pattern.check_crash_bound(t)
+        self.adversary = adversary
+        self.t = t
+        # Same floor the Run constructor applies to explicit horizons (the
+        # policy is owned by default_horizon), so the two lookup surfaces
+        # agree at horizon <= 0 too.
+        self.horizon = default_horizon(None, adversary.n, t, horizon)
+        # The trie's PreparedAdversary owns the canonical per-round event
+        # keying; reusing it keeps this chain and the scheduler's identical.
+        events = PreparedAdversary(0, adversary).events_by_round
+        layer = StructLayer.root(adversary.n)
+        layers = [layer]
+        for round_ in range(1, self.horizon + 1):
+            layer = layer.child(events.get(round_, ()))
+            layers.append(layer)
+        self._layers = layers
+
+    @property
+    def n(self) -> int:
+        return self.adversary.n
+
+    def has_view(self, process: ProcessId, time: Time) -> bool:
+        """Whether ``process`` has a local state at ``time``."""
+        return (
+            0 <= time <= self.horizon
+            and 0 <= process < self.adversary.n
+            and self._layers[time].rows_seen[process] is not None
+        )
+
+    def view(self, process: ProcessId, time: Time) -> ArrayView:
+        """The view of ``process`` at ``time`` (``KeyError`` if it has none)."""
+        if not self.has_view(process, time):
+            raise KeyError((process, time))
+        return ArrayView(self._layers[time], process, self.adversary.values)
+
+    def views_at(self, time: Time) -> Dict[ProcessId, ArrayView]:
+        """All views of processes active at ``time`` (``{}`` out of range,
+        matching ``Run.views_at``)."""
+        if not 0 <= time <= self.horizon:
+            return {}
+        layer = self._layers[time]
+        values = self.adversary.values
+        return {
+            p: ArrayView(layer, p, values)
+            for p in range(self.adversary.n)
+            if layer.rows_seen[p] is not None
+        }
+
+
+class GroupViews:
+    """The shared view surface of one (prefix-class, input-class) group.
+
+    Everything here is a function of the group's :class:`StructLayer` and
+    input vector alone, so it is computed once and reused by every adversary
+    of the class — canonical keys, the facet of the protocol complex, the
+    per-layer hidden sets and the witness matrices of Definition 2.
+    """
+
+    __slots__ = (
+        "layer",
+        "values",
+        "adversaries",
+        "positions",
+        "_keys",
+        "_active",
+        "_facet",
+        "_hidden",
+        "_witness",
+    )
+
+    def __init__(self, layer: StructLayer, values: Tuple, members: Sequence) -> None:
+        self.layer = layer
+        self.values = values
+        #: The member adversaries of the class, in sweep-input order.
+        self.adversaries: Tuple[Adversary, ...] = tuple(item.adversary for item in members)
+        #: Their positions in the sweep input.
+        self.positions: Tuple[int, ...] = tuple(item.pos for item in members)
+        self._keys: Dict[ProcessId, ViewKey] = {}
+        self._active: Optional[Tuple[ProcessId, ...]] = None
+        self._facet: Optional[FrozenSet[Tuple[ProcessId, ViewKey]]] = None
+        self._hidden: Dict[ProcessId, Tuple[FrozenSet[ProcessId], ...]] = {}
+        self._witness: Dict[Tuple[ProcessId, Optional[int]], List[Tuple[ProcessId, ...]]] = {}
+
+    @property
+    def time(self) -> Time:
+        return self.layer.time
+
+    def active_processes(self) -> Tuple[ProcessId, ...]:
+        """Processes with a local state at this group's time."""
+        cached = self._active
+        if cached is None:
+            rows = self.layer.rows_seen
+            cached = self._active = tuple(
+                i for i in range(self.layer.n) if rows[i] is not None
+            )
+        return cached
+
+    def view(self, process: ProcessId) -> ArrayView:
+        """The (lazily evaluated) view of an active process.
+
+        Raises ``KeyError`` for processes with no local state at this time —
+        the same lookup contract as ``Run.view`` / ``LayerViews.view``.
+        """
+        if not 0 <= process < self.layer.n or self.layer.rows_seen[process] is None:
+            raise KeyError((process, self.layer.time))
+        return ArrayView(self.layer, process, self.values)
+
+    def key(self, process: ProcessId) -> ViewKey:
+        """The canonical view key of an active process (cached per class).
+
+        The one :func:`repro.model.view.view_key` definition applies to the
+        batch view directly; its purely structural components (evidence row,
+        round senders) come from per-layer caches shared across input
+        classes.
+        """
+        cached = self._keys.get(process)
+        if cached is None:
+            cached = self._keys[process] = view_key(self.view(process))
+        return cached
+
+    def facet(self) -> FrozenSet[Tuple[ProcessId, ViewKey]]:
+        """The protocol-complex facet realised by every member adversary."""
+        cached = self._facet
+        if cached is None:
+            cached = self._facet = frozenset(
+                (p, self.key(p)) for p in self.active_processes()
+            )
+        return cached
+
+    # --------------------------------------------------- structural summaries
+    def hidden_sets(self, process: ProcessId) -> Tuple[FrozenSet[ProcessId], ...]:
+        """Per-layer hidden process sets w.r.t. the observer (layers 0..time),
+        computed once per class like the keys."""
+        cached = self._hidden.get(process)
+        if cached is None:
+            view = self.view(process)
+            cached = self._hidden[process] = tuple(
+                view.hidden_processes_at(layer) for layer in range(self.time + 1)
+            )
+        return cached
+
+    def hidden_capacity(self, process: ProcessId) -> int:
+        """``HC<process, time>`` — computed once per class, shared by members."""
+        if not 0 <= process < self.layer.n or self.layer.rows_seen[process] is None:
+            raise KeyError((process, self.layer.time))
+        return self.layer.hidden_capacity(process)
+
+    def witness_matrix(self, process: ProcessId, capacity: Optional[int] = None):
+        """Definition 2 witness rows (via :func:`repro.knowledge.hidden.witness_matrix`),
+        computed once per (class, capacity) request."""
+        cached = self._witness.get((process, capacity))
+        if cached is None:
+            from ..knowledge.hidden import witness_matrix
+
+            cached = self._witness[(process, capacity)] = witness_matrix(
+                self.view(process), capacity
+            )
+        return cached
+
+
+class ViewSource:
+    """Canonical views of a whole adversary family at a fixed time.
+
+    Schedules the family on the prefix-sharing trie with *no* protocol and
+    *no* early stopping, advances ``time`` rounds, and exposes the resulting
+    (prefix-class, input-class) groups.  This is the batch substrate the
+    protocol-complex builders (and anything else that consumes families of
+    views rather than decisions) materialise from.
+    """
+
+    def __init__(
+        self,
+        adversaries: Iterable[Adversary],
+        t: int,
+        time: Time,
+        n: Optional[int] = None,
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+        self.t = t
+        self.time = time
+        self.adversaries: Tuple[Adversary, ...] = tuple(batch)
+        n, prepared = prepare_adversaries(batch, t, n)
+        self.n = n
+        if prepared:
+            scheduler = PrefixScheduler(n, prepared)
+            for _ in range(time):
+                scheduler.advance()
+            self._groups: Tuple[GroupViews, ...] = tuple(
+                GroupViews(group.layer, group.values, group.members)
+                for group in scheduler.groups.values()
+            )
+            #: StructLayer simulations actually performed (sharing diagnostics).
+            self.layers_computed = scheduler.layers_computed
+        else:
+            self._groups = ()
+            self.layers_computed = 0
+        self._group_of: Optional[Dict[int, GroupViews]] = None
+
+    def groups(self) -> Tuple[GroupViews, ...]:
+        """All equivalence classes of the family at ``time``."""
+        return self._groups
+
+    def group_of(self, pos: int) -> GroupViews:
+        """The class of the adversary at sweep-input position ``pos``."""
+        index = self._group_of
+        if index is None:
+            index = self._group_of = {
+                position: group
+                for group in self._groups
+                for position in group.positions
+            }
+        return index[pos]
+
+    def key(self, pos: int, process: ProcessId) -> ViewKey:
+        """Canonical view key of ``process`` under adversary ``pos``."""
+        return self.group_of(pos).key(process)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Reference layer simulations each trie layer replaced (diagnostics)."""
+        if not self.layers_computed:
+            return 1.0
+        return len(self.adversaries) * (self.time + 1) / self.layers_computed

@@ -17,18 +17,56 @@ need:
   object Lemma 2 turns into an adversary in which ``c`` arbitrary values are
   each carried by its own crash chain;
 * hidden-capacity profiles over time for whole runs.
+
+Everything here operates on the *view read API* — the :class:`ViewLike`
+protocol below — not on the concrete :class:`repro.model.view.View` class,
+so the same helpers serve the reference engine's ``View`` objects and the
+batch engine's :class:`repro.engine.ArrayView` slices (as materialised by
+:class:`repro.engine.ViewSource` / :class:`repro.engine.LayerViews`)
+interchangeably.  Likewise the run-profile helpers only need the
+``has_view`` / ``view`` lookup surface, which both ``Run`` and
+``LayerViews`` provide.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, Tuple
 
-from ..model.run import Run
 from ..model.types import ProcessId, ProcessTimeNode, Time
-from ..model.view import View
 
 
-def hidden_nodes_by_layer(view: View) -> List[Tuple[ProcessId, ...]]:
+class ViewLike(Protocol):
+    """The read surface the hidden-structure helpers consume.
+
+    Satisfied by :class:`repro.model.view.View` and
+    :class:`repro.engine.ArrayView` alike — the helpers never touch engine
+    internals, only this API.
+    """
+
+    @property
+    def time(self) -> Time: ...
+
+    @property
+    def n(self) -> int: ...
+
+    def hidden_processes_at(self, layer: Time) -> FrozenSet[ProcessId]: ...
+
+    def hidden_capacity(self) -> int: ...
+
+    def is_seen(self, node: ProcessTimeNode) -> bool: ...
+
+    def is_guaranteed_crashed(self, node: ProcessTimeNode) -> bool: ...
+
+
+class RunViewsLike(Protocol):
+    """The view-lookup surface of a run — ``Run`` or ``LayerViews``."""
+
+    def has_view(self, process: ProcessId, time: Time) -> bool: ...
+
+    def view(self, process: ProcessId, time: Time) -> ViewLike: ...
+
+
+def hidden_nodes_by_layer(view: ViewLike) -> List[Tuple[ProcessId, ...]]:
     """The hidden processes of every layer ``0 .. m`` w.r.t. the view's node.
 
     Returns a list indexed by layer; entry ``ℓ`` is the (sorted) tuple of
@@ -37,17 +75,17 @@ def hidden_nodes_by_layer(view: View) -> List[Tuple[ProcessId, ...]]:
     return [tuple(sorted(view.hidden_processes_at(layer))) for layer in range(view.time + 1)]
 
 
-def hidden_capacity(view: View) -> int:
+def hidden_capacity(view: ViewLike) -> int:
     """``HC<i, m>`` — re-exported for symmetry with the paper's notation."""
     return view.hidden_capacity()
 
 
-def has_hidden_path(view: View) -> bool:
+def has_hidden_path(view: ViewLike) -> bool:
     """Whether a hidden path w.r.t. the observer exists (``HC >= 1``)."""
     return view.hidden_capacity() >= 1
 
 
-def witness_matrix(view: View, capacity: Optional[int] = None) -> List[Tuple[ProcessId, ...]]:
+def witness_matrix(view: ViewLike, capacity: Optional[int] = None) -> List[Tuple[ProcessId, ...]]:
     """A matrix of witnesses to a hidden capacity of ``capacity``.
 
     Row ``ℓ`` contains ``capacity`` distinct processes whose layer-``ℓ`` nodes
@@ -82,7 +120,7 @@ def witness_matrix(view: View, capacity: Optional[int] = None) -> List[Tuple[Pro
     return rows
 
 
-def disjoint_hidden_chains(view: View, capacity: Optional[int] = None) -> List[List[ProcessId]]:
+def disjoint_hidden_chains(view: ViewLike, capacity: Optional[int] = None) -> List[List[ProcessId]]:
     """``capacity`` disjoint "hidden chains", one process per layer per chain.
 
     A *hidden chain* here is a sequence ``(i^0_b, i^1_b, .., i^m_b)`` of
@@ -121,7 +159,7 @@ def disjoint_hidden_chains(view: View, capacity: Optional[int] = None) -> List[L
     return chains
 
 
-def hidden_path(view: View) -> Optional[List[ProcessId]]:
+def hidden_path(view: ViewLike) -> Optional[List[ProcessId]]:
     """A single hidden path w.r.t. the observer, or ``None`` if none exists.
 
     This is the ``k = 1`` specialisation used by the Opt0 analysis (Section 3,
@@ -133,7 +171,7 @@ def hidden_path(view: View) -> Optional[List[ProcessId]]:
     return disjoint_hidden_chains(view, 1)[0]
 
 
-def capacity_profile(run: Run, process: ProcessId) -> List[int]:
+def capacity_profile(run: RunViewsLike, process: ProcessId) -> List[int]:
     """The hidden capacity of ``process`` at every time it is active in ``run``.
 
     Remark 1 of the paper notes that the hidden capacity of a process is
@@ -148,7 +186,7 @@ def capacity_profile(run: Run, process: ProcessId) -> List[int]:
     return profile
 
 
-def first_time_capacity_below(run: Run, process: ProcessId, k: int) -> Optional[Time]:
+def first_time_capacity_below(run: RunViewsLike, process: ProcessId, k: int) -> Optional[Time]:
     """The first time at which ``process``'s hidden capacity drops below ``k``.
 
     Returns ``None`` if that never happens within the simulated horizon (in
@@ -163,7 +201,7 @@ def first_time_capacity_below(run: Run, process: ProcessId, k: int) -> Optional[
     return None
 
 
-def classify_layer(view: View, layer: Time) -> Dict[str, Tuple[ProcessId, ...]]:
+def classify_layer(view: ViewLike, layer: Time) -> Dict[str, Tuple[ProcessId, ...]]:
     """Partition the processes of a layer into seen / guaranteed-crashed / hidden.
 
     Useful for rendering figures and for tests that cross-check the three

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..model.run import Run
 from ..model.types import ProcessId, Time, Value
-from ..model.view import View
+from ..model.view import view_key
 
 
 #: A fact is any predicate over a point ``(run, time)`` of the system.
@@ -37,30 +37,45 @@ class System:
     """A finite system ``R`` of runs of a single protocol over a context.
 
     The system groups points by local state so that the knowledge operator of
-    Definition 4 can be evaluated by direct quantification.
+    Definition 4 can be evaluated by direct quantification.  Local states are
+    indexed by their canonical :func:`repro.model.view.view_key` — the view
+    *read API*, not the concrete ``View`` class — so queries may come from
+    either engine's views (a batch :class:`repro.engine.ArrayView` of the same
+    local state produces the identical key).
     """
 
     def __init__(self, runs: Sequence[Run]) -> None:
         if not runs:
             raise ValueError("a system must contain at least one run")
         self._runs: Tuple[Run, ...] = tuple(runs)
-        # Index: (process, time, local-state) -> list of run indices having
-        # that local state at that point.
-        self._index: Dict[Tuple[ProcessId, Time, View], List[int]] = {}
+        # Index: canonical view key (which embeds process and time) -> list of
+        # run indices whose owner has that local state at that point.
+        self._index: Dict[Tuple, List[int]] = {}
         for idx, run in enumerate(self._runs):
-            for (process, time), view in self._iter_views(run):
-                self._index.setdefault((process, time, view), []).append(idx)
+            for view in self._iter_views(run):
+                self._index.setdefault(view_key(view), []).append(idx)
 
     @staticmethod
     def _iter_views(run: Run):
         for time in range(run.horizon + 1):
-            for process, view in run.views_at(time).items():
-                yield (process, time), view
+            yield from run.views_at(time).values()
 
     @property
     def runs(self) -> Tuple[Run, ...]:
         """The runs of the system."""
         return self._runs
+
+    def runs_with_local_state(self, view) -> List[Run]:
+        """All runs of the system realising the given local state.
+
+        ``view`` may be a reference ``View`` or a batch ``ArrayView`` — any
+        object the canonical :func:`repro.model.view.view_key` applies to.
+        Raises if no run of the system realises the state.
+        """
+        key = view_key(view)
+        if key not in self._index:
+            raise ValueError("the given point does not belong to this system")
+        return [self._runs[idx] for idx in self._index[key]]
 
     def indistinguishable_runs(self, run: Run, process: ProcessId, time: Time) -> List[Run]:
         """All runs of the system in which ``process`` has the same local state at ``time``.
@@ -69,11 +84,7 @@ class System:
         ``process`` has no local state at ``time`` in ``run`` or if the run is
         not part of the system.
         """
-        view = run.view(process, time)
-        key = (process, time, view)
-        if key not in self._index:
-            raise ValueError("the given point does not belong to this system")
-        return [self._runs[idx] for idx in self._index[key]]
+        return self.runs_with_local_state(run.view(process, time))
 
     def knows(self, fact: Fact, run: Run, process: ProcessId, time: Time) -> bool:
         """Definition 4: ``K_i fact`` at the point ``(run, time)``."""

@@ -43,13 +43,40 @@ class SimplicialComplex:
     def __init__(self, simplexes: Iterable[Iterable[Vertex]] = ()) -> None:
         candidates: List[Simplex] = [frozenset(s) for s in simplexes]
         candidates = [s for s in candidates if s]
-        # Keep only the maximal simplexes.
+        # Keep only the maximal simplexes (deduplicating first: families built
+        # per execution repeat facets freely, and the maximality filter is
+        # quadratic in the number of candidates it scans).
         facets: List[Simplex] = []
-        for s in sorted(candidates, key=len, reverse=True):
-            if not any(s < other or s == other for other in facets):
+        for s in sorted(set(candidates), key=len, reverse=True):
+            if not any(s < other for other in facets):
                 facets.append(s)
         self._facets: Tuple[Simplex, ...] = tuple(facets)
         self._vertices: FrozenSet[Vertex] = frozenset(v for s in facets for v in s)
+        # vertex -> facets containing it; built lazily on the first star/link
+        # (the hot operation of the Proposition 2 surveys) and shared by all
+        # subsequent extractions.
+        self._star_index: Optional[Dict[Vertex, List[Simplex]]] = None
+
+    @classmethod
+    def _from_facets(cls, facets: Iterable[Simplex]) -> "SimplicialComplex":
+        """Internal fast path: build from simplexes known to be pairwise
+        incomparable (e.g. a subset of an existing complex's facets), skipping
+        the quadratic maximality filter."""
+        complex_ = cls.__new__(cls)
+        complex_._facets = tuple(facets)
+        complex_._vertices = frozenset(v for s in complex_._facets for v in s)
+        complex_._star_index = None
+        return complex_
+
+    def _facets_containing(self, vertex: Vertex) -> List[Simplex]:
+        index = self._star_index
+        if index is None:
+            index = {}
+            for facet in self._facets:
+                for v in facet:
+                    index.setdefault(v, []).append(facet)
+            self._star_index = index
+        return index.get(vertex, [])
 
     # ------------------------------------------------------------------ basic
     @property
@@ -115,13 +142,23 @@ class SimplicialComplex:
 
     # ------------------------------------------------------------ operations
     def star(self, vertex: Vertex) -> "SimplicialComplex":
-        """``St(v, K)``: all simplexes containing ``v`` and their faces."""
-        return SimplicialComplex(s for s in self._facets if vertex in s)
+        """``St(v, K)``: all simplexes containing ``v`` and their faces.
+
+        The facets of the star are exactly this complex's facets containing
+        ``v`` — pairwise incomparable already, so no re-normalisation is
+        needed (this is the hot operation of the Proposition 2 surveys).
+        """
+        return SimplicialComplex._from_facets(self._facets_containing(vertex))
 
     def link(self, vertex: Vertex) -> "SimplicialComplex":
-        """``Lk(v, K)``: faces of star simplexes that do not contain ``v``."""
-        return SimplicialComplex(
-            s - {vertex} for s in self._facets if vertex in s and len(s) > 1
+        """``Lk(v, K)``: faces of star simplexes that do not contain ``v``.
+
+        If ``F1 - {v} ⊆ F2 - {v}`` for star facets ``F1, F2 ∋ v`` then
+        ``F1 ⊆ F2``, so stripping ``v`` preserves pairwise incomparability
+        and the fast path applies here too.
+        """
+        return SimplicialComplex._from_facets(
+            s - {vertex} for s in self._facets_containing(vertex) if len(s) > 1
         )
 
     def induced(self, vertices: Iterable[Vertex]) -> "SimplicialComplex":

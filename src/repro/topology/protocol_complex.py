@@ -18,15 +18,24 @@ the actual one.  Proposition 2: if ``<i, m>`` has hidden capacity at least
 Exhaustive protocol complexes are only tractable for small systems, which is
 all Proposition 2's illustration needs.  The builders below take either an
 explicit adversary family or the standard restricted family "at most ``k``
-crashes per round" used by the lower-bound literature ([15, 22]).
+crashes per round" used by the lower-bound literature ([15, 22]), and an
+``engine`` selector: ``"batch"`` (default) materialises the whole family's
+canonical views on the prefix-sharing trie via
+:class:`repro.engine.ViewSource` — one facet computation per
+(prefix-class, input-class) instead of one reference ``Run`` per adversary —
+while ``"reference"`` keeps the per-adversary oracle path.  The two produce
+vertex-for-vertex, facet-for-facet identical complexes
+(``tests/test_complex_differential.py``).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..engine.sweep import validate_engine_choice
+from ..engine.views import RunCache, ViewSource
 from ..model.adversary import Adversary, Context
 from ..model.failure_pattern import CrashEvent, FailurePattern
 from ..model.run import Run
@@ -52,21 +61,24 @@ class ProtocolComplex:
         For every vertex, one representative ``(adversary, process)`` pair
         realising that local state (useful for mapping topological findings
         back to executions).
+    run_cache:
+        Memoised bare reference runs backing ``star_of`` / ``vertex_of``
+        lookups — one simulation per distinct adversary, however many
+        vertices are looked up against it.
     """
 
     complex: SimplicialComplex
     time: Time
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]]
+    run_cache: RunCache = field(default_factory=RunCache, compare=False, repr=False)
 
     def star_of(self, adversary: Adversary, process: ProcessId, t: int) -> SimplicialComplex:
         """The star complex of the vertex realised by ``process`` in ``adversary``'s run."""
-        run = Run(None, adversary, t, horizon=self.time)
-        vertex = (process, view_key(run.view(process, self.time)))
-        return self.complex.star(vertex)
+        return self.complex.star(self.vertex_of(adversary, process, t))
 
     def vertex_of(self, adversary: Adversary, process: ProcessId, t: int) -> ComplexVertex:
         """The complex vertex corresponding to ``process``'s state at time ``m`` in the run."""
-        run = Run(None, adversary, t, horizon=self.time)
+        run = self.run_cache.get(adversary, t, horizon=self.time)
         return (process, view_key(run.view(process, self.time)))
 
 
@@ -74,12 +86,20 @@ def build_protocol_complex(
     adversaries: Iterable[Adversary],
     time: Time,
     t: int,
+    engine: str = "batch",
 ) -> ProtocolComplex:
     """Build the ``time``-round protocol complex over an explicit adversary family.
 
     Every adversary contributes the facet consisting of the local states at
-    ``time`` of its processes that are still active at ``time``.
+    ``time`` of its processes that are still active at ``time``.  With
+    ``engine="batch"`` the family is scheduled on the prefix-sharing trie and
+    each (prefix-class, input-class) equivalence class contributes its facet
+    exactly once; ``engine="reference"`` simulates one oracle ``Run`` per
+    adversary.
     """
+    validate_engine_choice(engine)
+    if engine == "batch":
+        return _build_protocol_complex_batch(adversaries, time, t)
     facets: List[FrozenSet[ComplexVertex]] = []
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
     for adversary in adversaries:
@@ -91,6 +111,24 @@ def build_protocol_complex(
             vertex_views.setdefault(vertex, (adversary, process))
         if vertices:
             facets.append(frozenset(vertices))
+    return ProtocolComplex(SimplicialComplex(facets), time, vertex_views)
+
+
+def _build_protocol_complex_batch(
+    adversaries: Iterable[Adversary], time: Time, t: int
+) -> ProtocolComplex:
+    """The trie-shared builder: one facet per view equivalence class."""
+    source = ViewSource(adversaries, t, time)
+    facets: List[FrozenSet[ComplexVertex]] = []
+    vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
+    for group in source.groups():
+        actives = group.active_processes()
+        if not actives:
+            continue
+        representative = group.adversaries[0]
+        for process in actives:
+            vertex_views.setdefault((process, group.key(process)), (representative, process))
+        facets.append(group.facet())
     return ProtocolComplex(SimplicialComplex(facets), time, vertex_views)
 
 
@@ -145,12 +183,14 @@ def build_restricted_complex(
     values: Optional[Sequence[Value]] = None,
     max_crashes_per_round: Optional[int] = None,
     receiver_policy: str = "canonical",
+    engine: str = "batch",
 ) -> ProtocolComplex:
     """The ``time``-round protocol complex over "at most ``k`` crashes per round" adversaries.
 
     ``values`` fixes the input vector (the complex factorises over inputs, and
     for connectivity questions the inputs are irrelevant); it defaults to
-    everyone starting with ``k``.
+    everyone starting with ``k``.  ``engine`` selects the construction path
+    (see :func:`build_protocol_complex`).
     """
     k = context.k if max_crashes_per_round is None else max_crashes_per_round
     if values is None:
@@ -162,4 +202,4 @@ def build_restricted_complex(
         )
         if pattern.num_failures <= context.t
     )
-    return build_protocol_complex(adversaries, time, context.t)
+    return build_protocol_complex(adversaries, time, context.t, engine=engine)

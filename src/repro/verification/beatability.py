@@ -130,37 +130,70 @@ def beating_attempt_witness(k: int, depth: int = 2, extra_processes: int = 1) ->
     )
 
 
+#: Adversaries swept per chunk by :func:`find_agreement_violation`'s batch
+#: path — large enough for healthy prefix sharing inside a chunk, small
+#: enough that the scan still stops shortly after the first violation.
+_VIOLATION_SCAN_CHUNK = 1024
+
+
 def find_agreement_violation(
     protocol,
     adversaries: Iterable[Adversary],
     t: int,
     uniform: bool = False,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> Optional[Tuple[int, Adversary]]:
     """Scan an adversary family for a (uniform) k-Agreement violation of ``protocol``.
 
     Returns the index and adversary of the first violation found, or ``None``
-    if the protocol survived the whole family.
+    if the protocol survived the whole family.  ``engine="batch"`` (default)
+    sweeps the (possibly streaming) family through
+    :class:`repro.engine.SweepRunner` in bounded chunks, so the scan keeps
+    the trie's sharing *and* the early exit; ``"reference"`` runs one oracle
+    ``Run`` per adversary.
     """
+    import itertools
+
+    from ..engine import SweepRunner, validate_engine_choice
+
+    validate_engine_choice(engine, processes)
     check = check_uniform_agreement if uniform else check_agreement
-    for index, adversary in enumerate(adversaries):
-        run = Run(protocol, adversary, t)
-        if check(run, protocol.k):
-            return index, adversary
-    return None
+    if engine == "reference":
+        for index, adversary in enumerate(adversaries):
+            run = Run(protocol, adversary, t)
+            if check(run, protocol.k):
+                return index, adversary
+        return None
+    runner = SweepRunner(protocol, t, processes=processes)
+    stream = iter(adversaries)
+    offset = 0
+    while True:
+        chunk = list(itertools.islice(stream, _VIOLATION_SCAN_CHUNK))
+        if not chunk:
+            return None
+        for index, run in enumerate(runner.sweep(chunk)):
+            if check(run, protocol.k):
+                return offset + index, run.adversary
+        offset += len(chunk)
 
 
-def demonstrate_unbeatability_mechanism(k: int, depth: int = 2) -> dict:
+def demonstrate_unbeatability_mechanism(k: int, depth: int = 2, engine: str = "batch") -> dict:
     """Run the whole Lemma 3 confrontation and return a structured summary.
 
     Executes Optmin[k] and its eager variant on the witness adversary and
     reports the decided value sets and decision times of both, so tests and
     the FIG3 benchmark can assert that (i) Optmin[k] is correct and (ii) the
-    eager variant violates k-Agreement on the very same adversary.
+    eager variant violates k-Agreement on the very same adversary.  The
+    property checks consume only the shared run read API, so either engine
+    drives the confrontation.
     """
+    from ..engine import run_one
+
     witness = beating_attempt_witness(k, depth)
     t = witness.context.t
-    baseline_run = Run(OptMin(k), witness.adversary, t)
-    eager_run = Run(EagerOptMin(k, witness.eager_time), witness.adversary, t)
+    baseline_run = run_one(OptMin(k), witness.adversary, t, engine)
+    eager_run = run_one(EagerOptMin(k, witness.eager_time), witness.adversary, t, engine)
     return {
         "witness": witness,
         "optmin_decided_values": sorted(baseline_run.decided_values(correct_only=True)),

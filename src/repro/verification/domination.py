@@ -19,6 +19,13 @@ comparisons between concrete protocols that the paper's claims reduce to
 consensus by up to t-2 rounds"), and (ii) the per-adversary decision-time data
 that the DOM benchmark reports.  The complementary falsification-style
 evidence for unbeatability lives in :mod:`repro.verification.beatability`.
+
+Every comparison here is a family sweep, so all entry points take
+``engine="batch" | "reference"``: the default routes the family through
+:class:`repro.engine.SweepRunner` (decision times only, which is all
+domination consumes), ``"reference"`` streams one oracle ``Run`` per
+adversary.  The dispatch itself is owned by
+:func:`repro.engine.runs_over_family`.
 """
 
 from __future__ import annotations
@@ -125,6 +132,8 @@ def compare_protocols(
     reference,
     adversaries: Iterable[Adversary],
     t: int,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> DominationReport:
     """Compare two protocols' decision times over a family of adversaries.
 
@@ -136,11 +145,31 @@ def compare_protocols(
         candidate=getattr(candidate, "name", "candidate"),
         reference=getattr(reference, "name", "reference"),
     )
-    for index, adversary in enumerate(adversaries):
-        candidate_run = Run(candidate, adversary, t)
-        reference_run = Run(reference, adversary, t)
+    for index, (candidate_run, reference_run) in enumerate(
+        _run_pairs(candidate, reference, adversaries, t, engine, processes)
+    ):
         compare_on_adversary(candidate_run, reference_run, index, report)
     return report
+
+
+def _run_pairs(candidate, reference, adversaries, t, engine, processes):
+    """Paired runs of both protocols per adversary, in input order.
+
+    The reference path streams — both runs of one adversary are built and
+    dropped together, O(1) memory on generated families, exactly like the
+    pre-engine-dispatch loop — while the batch path materialises the family
+    once (it is consumed by two sweeps) and zips the results.
+    """
+    from ..engine import runs_over_family, validate_engine_choice
+
+    validate_engine_choice(engine, processes)
+    if engine == "reference":
+        return ((Run(candidate, a, t), Run(reference, a, t)) for a in adversaries)
+    adversaries = list(adversaries)
+    return zip(
+        runs_over_family(candidate, adversaries, t, engine, processes),
+        runs_over_family(reference, adversaries, t, engine, processes),
+    )
 
 
 def last_decider_compare(
@@ -148,15 +177,17 @@ def last_decider_compare(
     reference,
     adversaries: Iterable[Adversary],
     t: int,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> DominationReport:
     """Definition 6: compare only the time of the last (correct) decision per run."""
     report = DominationReport(
         candidate=f"{getattr(candidate, 'name', 'candidate')} [last-decider]",
         reference=f"{getattr(reference, 'name', 'reference')} [last-decider]",
     )
-    for index, adversary in enumerate(adversaries):
-        candidate_run = Run(candidate, adversary, t)
-        reference_run = Run(reference, adversary, t)
+    for index, (candidate_run, reference_run) in enumerate(
+        _run_pairs(candidate, reference, adversaries, t, engine, processes)
+    ):
         report.adversaries_checked += 1
         reference_last = reference_run.last_decision_time(correct_only=True)
         candidate_last = candidate_run.last_decision_time(correct_only=True)
@@ -174,17 +205,20 @@ def decision_time_table(
     protocols: Sequence,
     adversaries: Sequence[Adversary],
     t: int,
+    engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> Dict[str, List[Optional[Time]]]:
     """Last-correct-decision times of several protocols on each adversary.
 
     Returns a mapping ``protocol name -> [time per adversary]``; the DOM
     benchmark prints this as the paper-style comparison table.
     """
+    from ..engine import runs_over_family
+
     table: Dict[str, List[Optional[Time]]] = {}
     for protocol in protocols:
-        column: List[Optional[Time]] = []
-        for adversary in adversaries:
-            run = Run(protocol, adversary, t)
-            column.append(run.last_decision_time(correct_only=True))
-        table[getattr(protocol, "name", repr(protocol))] = column
+        runs = runs_over_family(protocol, adversaries, t, engine, processes)
+        table[getattr(protocol, "name", repr(protocol))] = [
+            run.last_decision_time(correct_only=True) for run in runs
+        ]
     return table
