@@ -1,0 +1,94 @@
+"""STARCONN — engineering benchmark: sparse vs dense per-star connectivity.
+
+The Proposition 2 surveys probe ``connectivity_profile(star, max_q=k-1)`` on
+the star complex of **every** vertex of a protocol complex.  The seed
+homology path materialised the star's entire face lattice as frozensets and
+recomputed the Betti numbers from scratch for every probed ``q``; the sparse
+bitset kernel streams chain groups only up to dimension ``q+1`` (as integer
+bit combinations, deduplicated across facets), reuses each boundary rank as
+the next dimension's down-rank, and exits at the first non-vanishing Betti
+number.
+
+This benchmark runs the full per-star sweep on both paths — the sparse
+kernel (:func:`repro.topology.connectivity_profile`) and the retained seed
+algorithm (:func:`repro.topology.dense_connectivity_profile`) — over two
+star families:
+
+* the exhaustive n=4, t=2 restricted family at m=2 (the differential-test
+  family of ``tests/test_homology_differential.py``);
+* the n=6 one-round family, whose stars are wide enough that the dense
+  path's full-lattice enumeration dominates.
+
+The two sweeps must produce identical connectivity profiles — asserted
+unconditionally — and the sparse sweep must be at least 3x faster (the
+acceptance criterion of the kernel port).  Wall-clock ratios are noisy on
+shared runners, so CI lowers the gate via ``STAR_CONNECTIVITY_MIN_SPEEDUP``
+while local/acceptance runs keep the 3x target.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.model import Context
+from repro.topology import (
+    build_restricted_complex,
+    connectivity_profile,
+    dense_connectivity_profile,
+)
+
+from conftest import print_table
+
+
+CASES = [
+    # (n, t, k, time); the first case is exactly the differential-test family
+    # of tests/test_homology_differential.py, the second the n=6 one-round
+    # family with the usual t = n - 1.
+    (4, 2, 2, 2),
+    (6, 5, 2, 1),
+]
+MIN_SPEEDUP = float(os.environ.get("STAR_CONNECTIVITY_MIN_SPEEDUP", "3.0"))
+
+
+def run_sweeps():
+    """(n, k, m, stars, sparse seconds, dense seconds) per case."""
+    rows = []
+    for n, t, k, m in CASES:
+        context = Context(n=n, t=t, k=k)
+        pc = build_restricted_complex(context, time=m, max_crashes_per_round=k)
+        stars = [pc.complex.star(vertex) for vertex in pc.complex.vertices]
+
+        start = time.perf_counter()
+        sparse = [connectivity_profile(star, max_q=k - 1) for star in stars]
+        sparse_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        dense = [dense_connectivity_profile(star, max_q=k - 1) for star in stars]
+        dense_seconds = time.perf_counter() - start
+
+        # The differential contract, embedded in the benchmark: the kernels
+        # must agree on every star of the sweep.
+        assert sparse == dense
+        rows.append((n, k, m, len(stars), sparse_seconds, dense_seconds))
+    return rows
+
+
+@pytest.mark.benchmark(group="star-connectivity")
+def test_sparse_star_connectivity_speedup(benchmark):
+    rows = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    print_table(
+        "STARCONN — per-star connectivity_profile sweep, sparse kernel vs dense path",
+        ["n", "k", "m", "stars", "sparse s", "dense s", "speedup"],
+        [
+            (n, k, m, stars, f"{sparse:.3f}", f"{dense:.3f}", f"{dense / sparse:.1f}x")
+            for n, k, m, stars, sparse, dense in rows
+        ],
+    )
+    for n, k, m, _stars, sparse_seconds, dense_seconds in rows:
+        assert dense_seconds >= MIN_SPEEDUP * sparse_seconds, (
+            f"n={n}, k={k}, m={m}: sparse star sweep fell below {MIN_SPEEDUP}x "
+            f"(dense {dense_seconds:.3f}s vs sparse {sparse_seconds:.3f}s)"
+        )

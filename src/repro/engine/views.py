@@ -161,8 +161,9 @@ class GroupViews:
 
     Everything here is a function of the group's :class:`StructLayer` and
     input vector alone, so it is computed once and reused by every adversary
-    of the class — canonical keys, the facet of the protocol complex, the
-    per-layer hidden sets and the witness matrices of Definition 2.
+    of the class — canonical keys, the per-layer hidden sets and the witness
+    matrices of Definition 2.  (The protocol-complex builders assemble their
+    facets directly as bitsets over the keys served here.)
     """
 
     __slots__ = (
@@ -172,7 +173,6 @@ class GroupViews:
         "positions",
         "_keys",
         "_active",
-        "_facet",
         "_hidden",
         "_witness",
     )
@@ -186,7 +186,6 @@ class GroupViews:
         self.positions: Tuple[int, ...] = tuple(item.pos for item in members)
         self._keys: Dict[ProcessId, ViewKey] = {}
         self._active: Optional[Tuple[ProcessId, ...]] = None
-        self._facet: Optional[FrozenSet[Tuple[ProcessId, ViewKey]]] = None
         self._hidden: Dict[ProcessId, Tuple[FrozenSet[ProcessId], ...]] = {}
         self._witness: Dict[Tuple[ProcessId, Optional[int]], List[Tuple[ProcessId, ...]]] = {}
 
@@ -225,15 +224,6 @@ class GroupViews:
         cached = self._keys.get(process)
         if cached is None:
             cached = self._keys[process] = view_key(self.view(process))
-        return cached
-
-    def facet(self) -> FrozenSet[Tuple[ProcessId, ViewKey]]:
-        """The protocol-complex facet realised by every member adversary."""
-        cached = self._facet
-        if cached is None:
-            cached = self._facet = frozenset(
-                (p, self.key(p)) for p in self.active_processes()
-            )
         return cached
 
     # --------------------------------------------------- structural summaries
@@ -283,6 +273,7 @@ class ViewSource:
         t: int,
         time: Time,
         n: Optional[int] = None,
+        keep_layers: bool = False,
     ) -> None:
         if time < 0:
             raise ValueError(f"time must be >= 0, got {time}")
@@ -292,24 +283,57 @@ class ViewSource:
         self.adversaries: Tuple[Adversary, ...] = tuple(batch)
         n, prepared = prepare_adversaries(batch, t, n)
         self.n = n
-        if prepared:
-            scheduler = PrefixScheduler(n, prepared)
-            for _ in range(time):
-                scheduler.advance()
-            self._groups: Tuple[GroupViews, ...] = tuple(
+        snapshots: List[Tuple[GroupViews, ...]] = []
+
+        def snapshot(scheduler: PrefixScheduler) -> Tuple[GroupViews, ...]:
+            return tuple(
                 GroupViews(group.layer, group.values, group.members)
                 for group in scheduler.groups.values()
+            )
+
+        if prepared:
+            scheduler = PrefixScheduler(n, prepared)
+            if keep_layers:
+                snapshots.append(snapshot(scheduler))
+            for _ in range(time):
+                scheduler.advance()
+                if keep_layers:
+                    snapshots.append(snapshot(scheduler))
+            self._groups: Tuple[GroupViews, ...] = (
+                snapshots[-1] if keep_layers else snapshot(scheduler)
             )
             #: StructLayer simulations actually performed (sharing diagnostics).
             self.layers_computed = scheduler.layers_computed
         else:
             self._groups = ()
+            snapshots = [() for _ in range(time + 1)] if keep_layers else []
             self.layers_computed = 0
+        #: Per-time equivalence classes (times 0..time) when ``keep_layers``.
+        self._layer_groups: Optional[Tuple[Tuple[GroupViews, ...], ...]] = (
+            tuple(snapshots) if keep_layers else None
+        )
         self._group_of: Optional[Dict[int, GroupViews]] = None
 
     def groups(self) -> Tuple[GroupViews, ...]:
         """All equivalence classes of the family at ``time``."""
         return self._groups
+
+    def groups_at(self, time: Time) -> Tuple[GroupViews, ...]:
+        """The equivalence classes at an intermediate time ``0 .. time``.
+
+        Only available when the source was built with ``keep_layers=True``
+        (the knowledge-layer :meth:`repro.knowledge.System.from_family` path,
+        which indexes every point of every run, consumes all layers; the
+        complex builders only ever need the final one).
+        """
+        if self._layer_groups is None:
+            raise ValueError(
+                "per-layer groups were not retained; construct the ViewSource "
+                "with keep_layers=True"
+            )
+        if not 0 <= time <= self.time:
+            raise ValueError(f"time must be in 0..{self.time}, got {time}")
+        return self._layer_groups[time]
 
     def group_of(self, pos: int) -> GroupViews:
         """The class of the adversary at sweep-input position ``pos``."""

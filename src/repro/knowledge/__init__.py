@@ -18,6 +18,7 @@ from .hidden import (
 )
 from .operators import (
     Fact,
+    FamilyRun,
     System,
     at_most_low_values_decided,
     exists_value,
@@ -28,6 +29,7 @@ from .operators import (
 
 __all__ = [
     "Fact",
+    "FamilyRun",
     "System",
     "at_most_low_values_decided",
     "capacity_profile",

@@ -22,7 +22,7 @@ definitions and the combinatorial decision rules:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.run import Run
 from ..model.types import ProcessId, Time, Value
@@ -31,6 +31,66 @@ from ..model.view import view_key
 
 #: A fact is any predicate over a point ``(run, time)`` of the system.
 Fact = Callable[[Run, Time], bool]
+
+
+class FamilyRun:
+    """One member of a batch-built :class:`System`: sweep decisions plus
+    on-demand oracle views.
+
+    Wraps a decision-sized :class:`repro.engine.sweep.BatchRun` and serves
+    the view surface (``view`` / ``has_view`` / ``views_at``) from the
+    system's shared :class:`repro.engine.RunCache` — a reference run is
+    simulated only for adversaries a fact actually inspects views of, and at
+    most once each.  A reference run under a protocol stops simulating once
+    every active process has decided, so the surface is clamped to the swept
+    run's ``stop_time`` (views are protocol-independent, hence identical up
+    to that point) and the memoised bare run only simulates that far.
+    Everything else (decisions, decision times, decided values, the
+    adversary itself) delegates to the wrapped batch run, so the facts of
+    this module consume either run flavour interchangeably.
+    """
+
+    __slots__ = ("_run", "_cache")
+
+    def __init__(self, run, cache) -> None:
+        self._run = run
+        self._cache = cache
+
+    @property
+    def last_view_time(self) -> Time:
+        """The last time this run has local states for.
+
+        The reference loop checks the all-decided early stop only from time 1
+        on, so even a run whose processes all decide at time 0 carries views
+        through time 1 — hence the floor.
+        """
+        return max(self._run.stop_time, 1)
+
+    def _oracle(self) -> Run:
+        run = self._run
+        return self._cache.get(run.adversary, run.t, self.last_view_time)
+
+    def view(self, process: ProcessId, time: Time):
+        """The view of ``process`` at ``time`` (``KeyError`` if it has none)."""
+        if time > self.last_view_time:
+            raise KeyError((process, time))
+        return self._oracle().view(process, time)
+
+    def has_view(self, process: ProcessId, time: Time) -> bool:
+        """Whether ``process`` has a local state at ``time``."""
+        return time <= self.last_view_time and self._oracle().has_view(process, time)
+
+    def views_at(self, time: Time):
+        """All views of processes active at ``time`` (``{}`` past the last view time)."""
+        if time > self.last_view_time:
+            return {}
+        return self._oracle().views_at(time)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_run"), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FamilyRun({self._run!r})"
 
 
 class System:
@@ -59,6 +119,69 @@ class System:
     def _iter_views(run: Run):
         for time in range(run.horizon + 1):
             yield from run.views_at(time).values()
+
+    @classmethod
+    def from_family(
+        cls,
+        protocol,
+        adversaries: Iterable,
+        t: int,
+        horizon: Optional[int] = None,
+        engine: str = "batch",
+    ) -> "System":
+        """Build the system of all runs of ``protocol`` over an adversary family.
+
+        ``engine="batch"`` (default) assembles the system without storing one
+        reference ``Run`` per family member, from two trie passes over the
+        family: a :class:`repro.engine.SweepRunner` pass for decisions (one
+        decision evaluation per trie equivalence class) and a layer-retaining
+        :class:`repro.engine.ViewSource` pass for the Definition 4
+        local-state index — every ``(process, time)`` point of every run is
+        keyed once per (prefix-class, input-class), not once per adversary.  The runs of the
+        resulting system are :class:`FamilyRun` facades whose view surface is
+        served lazily by a shared :class:`repro.engine.RunCache`: only the
+        adversaries of points actually queried (or of runs whose views a fact
+        inspects) are ever re-simulated, at most once each — not the whole
+        family up front.
+
+        ``engine="reference"`` is the seed path: one eager oracle ``Run`` per
+        adversary, indexed by direct view iteration.
+        """
+        from ..engine.sweep import SweepRunner, validate_engine_choice
+        from ..engine.views import RunCache, ViewSource
+
+        validate_engine_choice(engine)
+        batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+        if engine == "reference":
+            return cls([Run(protocol, adversary, t, horizon=horizon) for adversary in batch])
+        if not batch:
+            raise ValueError("a system must contain at least one run")
+        runner = SweepRunner(protocol, t, horizon=horizon)
+        swept = runner.sweep(batch)
+        resolved_horizon = swept[0].horizon
+        cache = RunCache()
+        runs = tuple(FamilyRun(run, cache) for run in swept)
+        source = ViewSource(batch, t, resolved_horizon, keep_layers=True)
+        stop_times = [run.last_view_time for run in runs]
+        index: Dict[Tuple, List[int]] = {}
+        for time in range(resolved_horizon + 1):
+            for group in source.groups_at(time):
+                # A reference run ends once all its active processes decided;
+                # points past a member's stop time are not points of the
+                # system, exactly as in the eager per-run indexing.
+                live = [pos for pos in group.positions if stop_times[pos] >= time]
+                if not live:
+                    continue
+                for process in group.active_processes():
+                    index.setdefault(group.key(process), []).extend(live)
+        for indices in index.values():
+            # The reference constructor indexes in run order; one sort per
+            # class restores that order after the per-group extends.
+            indices.sort()
+        system = cls.__new__(cls)
+        system._runs = runs
+        system._index = index
+        return system
 
     @property
     def runs(self) -> Tuple[Run, ...]:

@@ -6,6 +6,7 @@ B.1) and Proposition 2's connectivity statement.
 
 from .complexes import (
     SimplicialComplex,
+    VertexPool,
     boundary_of_simplex,
     full_simplex,
     simplex,
@@ -13,6 +14,8 @@ from .complexes import (
 )
 from .connectivity import (
     connectivity_profile,
+    dense_connectivity_profile,
+    dense_reduced_betti_numbers,
     euler_characteristic,
     is_homologically_q_connected,
     reduced_betti_numbers,
@@ -44,6 +47,7 @@ __all__ = [
     "ProtocolComplex",
     "SimplicialComplex",
     "SubdividedSimplex",
+    "VertexPool",
     "barycentric_subdivision",
     "boundary_of_simplex",
     "build_protocol_complex",
@@ -52,6 +56,8 @@ __all__ = [
     "coloring_from_decisions",
     "connectivity_profile",
     "count_top_simplices",
+    "dense_connectivity_profile",
+    "dense_reduced_betti_numbers",
     "euler_characteristic",
     "first_vertex_coloring",
     "full_simplex",

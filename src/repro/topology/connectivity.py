@@ -9,13 +9,28 @@ of *reduced homology* in dimensions ``0 .. q`` — a necessary condition for
 ``q``-connectivity, and the condition that the Sperner/index arguments
 actually consume.
 
-This module computes reduced Betti numbers over GF(2) (boundary-matrix ranks
-via bitset Gaussian elimination — no external dependencies and exact
-arithmetic) and exposes:
+This module computes reduced Betti numbers over GF(2) on the bitset kernel
+of :mod:`repro.topology.complexes`:
 
-* :func:`reduced_betti_numbers` — the reduced GF(2) Betti numbers ``b̃_0 .. b̃_d``;
-* :func:`is_homologically_q_connected` — the proxy connectivity test;
-* :func:`connectivity_profile` — the largest ``q`` for which the proxy holds.
+* chain groups are *streamed one dimension at a time* as bit combinations of
+  the facet masks, deduplicated across facets as plain integers, and never
+  materialised beyond dimension ``q + 1`` when only ``b̃_0 .. b̃_q`` are
+  requested — so :func:`connectivity_profile` with ``max_q = k - 1`` does
+  work proportional to the low-dimensional skeleton, not to the full
+  (exponential) face lattice;
+* chain-group bases are indexed and ordered by the simplex's bitset value
+  over the pool's interned vertex ids — a canonical order that is immune to
+  ``repr`` collisions between distinct vertices (the former sort key);
+* boundary matrices are eliminated incrementally, one column (= one
+  higher-dimensional simplex) at a time, and the profile scan exits at the
+  first non-vanishing Betti number; the rank of ``∂_{q+1}`` is reused as the
+  down-rank of dimension ``q + 1`` instead of being recomputed.
+
+The seed's dense algorithm (full face-lattice enumeration over frozensets,
+one complete Betti recomputation per probed ``q``) is retained verbatim as
+:func:`dense_reduced_betti_numbers` / :func:`dense_connectivity_profile` —
+the differential-testing oracle for the sparse kernel and the baseline the
+``bench_star_connectivity`` benchmark measures against.
 
 The substitution (homology proxy instead of true connectivity) is recorded in
 DESIGN.md §2 and EXPERIMENTS.md (PROP2).
@@ -24,9 +39,9 @@ DESIGN.md §2 and EXPERIMENTS.md (PROP2).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
-from .complexes import SimplicialComplex, Simplex
+from .complexes import SimplicialComplex, Simplex, iter_bits
 
 
 def _gf2_rank(rows: List[int]) -> int:
@@ -51,32 +66,113 @@ def _gf2_rank(rows: List[int]) -> int:
     return rank
 
 
-def _boundary_rank(
-    lower: Sequence[Simplex], upper: Sequence[Simplex]
-) -> int:
-    """Rank over GF(2) of the boundary map from ``upper`` simplexes to ``lower`` ones."""
+# --------------------------------------------------------------- sparse kernel
+def _local_facets(complex_: SimplicialComplex) -> Tuple[List[int], List]:
+    """The facet bitsets re-based onto a dense ``0 .. |V|-1`` bit range.
+
+    Subcomplexes share their parent's :class:`VertexPool`, so a star cut out
+    of a 5000-vertex protocol complex carries facet masks thousands of bits
+    wide even though it touches twenty vertices.  Homology only needs ids
+    that are *consistent*, not global: compressing onto the complex's own
+    vertices keeps every chain-group mask word-sized.  The compression is
+    monotone in the global ids, so orderings by mask value are preserved.
+
+    Returns the local facet masks plus the vertex of each local bit (for
+    consumers that materialise simplexes back out).
+    """
+    pool = complex_.pool
+    position_of: Dict[int, int] = {}
+    vertices: List = []
+    for vid in iter_bits(complex_.vertex_mask):
+        position_of[vid] = len(vertices)
+        vertices.append(pool.vertex_at(vid))
+    locals_: List[int] = []
+    for mask in complex_.facet_masks:
+        local = 0
+        for vid in iter_bits(mask):
+            local |= 1 << position_of[vid]
+        locals_.append(local)
+    return locals_, vertices
+
+
+def _masks_at_dimension(facet_masks: Sequence[int], dimension: int) -> List[int]:
+    """All dimension-``dimension`` simplex masks of the complex, ascending.
+
+    Streams ``(dimension+1)``-subsets of each facet's bit positions and
+    deduplicates across facets as integers; the ascending sort both fixes the
+    chain-group order (by interned vertex ids, not ``repr``) and makes the
+    boundary matrices reproducible.
+    """
+    size = dimension + 1
+    out = set()
+    for mask in facet_masks:
+        bits = [1 << vid for vid in iter_bits(mask)]
+        if len(bits) >= size:
+            for combo in itertools.combinations(bits, size):
+                out.add(sum(combo))
+    return sorted(out)
+
+
+def _boundary_rank_masks(lower: Sequence[int], upper: Sequence[int]) -> int:
+    """Rank over GF(2) of the boundary map from ``upper`` masks to ``lower`` ones.
+
+    Each upper simplex contributes one column: its codimension-1 faces are
+    the masks with one bit cleared, looked up in the lower basis by value.
+    The elimination consumes the columns incrementally (see
+    :func:`_gf2_rank`), so the matrix is never materialised densely.
+    """
     if not upper or not lower:
         return 0
-    index_of = {simplex: i for i, simplex in enumerate(lower)}
+    index_of = {mask: position for position, mask in enumerate(lower)}
     rows: List[int] = []
-    for simplex in upper:
+    for mask in upper:
         row = 0
-        for vertex in simplex:
-            face = simplex - {vertex}
-            position = index_of.get(face)
-            if position is not None:
-                row |= 1 << position
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            row |= 1 << index_of[mask ^ low]
+            remaining ^= low
         rows.append(row)
     return _gf2_rank(rows)
 
 
+def _betti_stream(complex_: SimplicialComplex, top: int) -> Iterator[int]:
+    """Yield ``b̃_0, b̃_1, ..`` up to dimension ``top``, lazily.
+
+    Dimension ``q + 1`` is enumerated only when ``b̃_q`` is actually pulled,
+    so an early-exiting consumer (:func:`connectivity_profile`) touches
+    nothing above the first non-vanishing dimension plus one.  The rank of
+    ``∂_{q+1}`` flows forward as the down-rank of dimension ``q + 1``.
+    """
+    facet_masks, _ = _local_facets(complex_)
+    dimension = complex_.dimension
+    current = _masks_at_dimension(facet_masks, 0)
+    # Augmented boundary: every vertex maps to the generator of C_{-1}.
+    rank_down = 1 if current else 0
+    for q in range(top + 1):
+        above = _masks_at_dimension(facet_masks, q + 1) if q < dimension else []
+        rank_up = _boundary_rank_masks(current, above)
+        yield len(current) - rank_down - rank_up
+        current = above
+        rank_down = rank_up
+
+
 def simplices_by_dimension(complex_: SimplicialComplex) -> Dict[int, List[Simplex]]:
-    """All simplexes of the complex grouped (and deterministically ordered) by dimension."""
+    """All simplexes of the complex grouped (and deterministically ordered) by dimension.
+
+    The order within a dimension is by the simplex's bitset over interned
+    vertex ids — canonical even when distinct vertices share a ``repr``
+    (which used to collapse the former ``repr``-keyed sort ordering).
+    """
     grouped: Dict[int, List[Simplex]] = {}
-    for simplex in complex_.simplices():
-        grouped.setdefault(len(simplex) - 1, []).append(simplex)
-    for dim in grouped:
-        grouped[dim].sort(key=lambda s: tuple(sorted(map(repr, s))))
+    facet_masks, vertices = _local_facets(complex_)
+    for dim in range(complex_.dimension + 1):
+        masks = _masks_at_dimension(facet_masks, dim)
+        if masks:
+            grouped[dim] = [
+                frozenset(vertices[position] for position in iter_bits(mask))
+                for mask in masks
+            ]
     return grouped
 
 
@@ -84,26 +180,15 @@ def reduced_betti_numbers(complex_: SimplicialComplex, max_dimension: int | None
     """Reduced GF(2) Betti numbers ``b̃_0 .. b̃_D`` of the complex.
 
     ``D`` defaults to the complex's dimension.  The empty complex has no
-    Betti numbers (an empty list is returned).
+    Betti numbers (an empty list is returned).  With ``max_dimension = q``
+    only the skeleton up to dimension ``q + 1`` is ever enumerated.
     """
     if complex_.is_empty():
         return []
-    grouped = simplices_by_dimension(complex_)
     top = complex_.dimension if max_dimension is None else min(max_dimension, complex_.dimension)
-    betti: List[int] = []
-    for q in range(top + 1):
-        current = grouped.get(q, [])
-        below = grouped.get(q - 1, [])
-        above = grouped.get(q + 1, [])
-        n_q = len(current)
-        if q == 0:
-            # Augmented boundary: every vertex maps to the generator of C_{-1}.
-            rank_down = 1 if n_q > 0 else 0
-        else:
-            rank_down = _boundary_rank(below, current)
-        rank_up = _boundary_rank(current, above)
-        betti.append(n_q - rank_down - rank_up)
-    return betti
+    if top < 0:
+        return []
+    return list(_betti_stream(complex_, top))
 
 
 def is_homologically_q_connected(complex_: SimplicialComplex, q: int) -> bool:
@@ -118,9 +203,7 @@ def is_homologically_q_connected(complex_: SimplicialComplex, q: int) -> bool:
         return False
     if q < 0:
         return True
-    betti = reduced_betti_numbers(complex_, max_dimension=q)
-    # Dimensions above the complex's own dimension contribute nothing.
-    return all(b == 0 for b in betti[: q + 1])
+    return connectivity_profile(complex_, max_q=q) >= q
 
 
 def connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) -> int:
@@ -128,21 +211,99 @@ def connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) 
 
     Returns ``-2`` for the empty complex, ``-1`` for a non-empty but
     disconnected complex, and otherwise the largest ``q`` with vanishing
-    reduced homology through dimension ``q``.
+    reduced homology through dimension ``q``.  The Betti stream is consumed
+    incrementally and abandoned at the first non-vanishing dimension, so a
+    ``max_q = k - 1`` star survey pays for the ``k``-skeleton only.
     """
+    if complex_.is_empty():
+        return -2
+    limit = complex_.dimension if max_q is None else max_q
+    if limit < 0:
+        return -1
+    top = min(limit, complex_.dimension)
+    for q, betti in enumerate(_betti_stream(complex_, top)):
+        if betti != 0:
+            return q - 1
+    # Dimensions above the complex's own dimension contribute nothing, so a
+    # complex clean through its top dimension is connected through ``limit``.
+    return limit
+
+
+def euler_characteristic(complex_: SimplicialComplex) -> int:
+    """The Euler characteristic (a cheap cross-check for the homology code)."""
+    facet_masks, _ = _local_facets(complex_)
+    return sum(
+        ((-1) ** dim) * len(_masks_at_dimension(facet_masks, dim))
+        for dim in range(complex_.dimension + 1)
+    )
+
+
+# ------------------------------------------------------------------ dense oracle
+def _dense_simplices_by_dimension(complex_: SimplicialComplex) -> Dict[int, List[Simplex]]:
+    """The seed grouping: the full face lattice, materialised as frozensets."""
+    grouped: Dict[int, List[Simplex]] = {}
+    for s in complex_.simplices():
+        grouped.setdefault(len(s) - 1, []).append(s)
+    for dim in grouped:
+        grouped[dim].sort(key=lambda s: tuple(sorted(map(repr, s))))
+    return grouped
+
+
+def _dense_boundary_rank(lower: Sequence[Simplex], upper: Sequence[Simplex]) -> int:
+    """The seed boundary rank: face lookups by frozenset difference."""
+    if not upper or not lower:
+        return 0
+    index_of = {s: i for i, s in enumerate(lower)}
+    rows: List[int] = []
+    for s in upper:
+        row = 0
+        for vertex in s:
+            position = index_of.get(s - {vertex})
+            if position is not None:
+                row |= 1 << position
+        rows.append(row)
+    return _gf2_rank(rows)
+
+
+def dense_reduced_betti_numbers(
+    complex_: SimplicialComplex, max_dimension: int | None = None
+) -> List[int]:
+    """The seed homology algorithm, kept as the differential-testing oracle.
+
+    Materialises **every** face of every facet as a frozenset before any
+    elimination, recomputes each boundary rank twice (once as up-rank, once
+    as down-rank) — exactly the dense path the sparse kernel replaced, and
+    the baseline ``bench_star_connectivity`` measures against.
+    """
+    if complex_.is_empty():
+        return []
+    grouped = _dense_simplices_by_dimension(complex_)
+    top = complex_.dimension if max_dimension is None else min(max_dimension, complex_.dimension)
+    betti: List[int] = []
+    for q in range(top + 1):
+        current = grouped.get(q, [])
+        below = grouped.get(q - 1, [])
+        above = grouped.get(q + 1, [])
+        n_q = len(current)
+        if q == 0:
+            rank_down = 1 if n_q > 0 else 0
+        else:
+            rank_down = _dense_boundary_rank(below, current)
+        rank_up = _dense_boundary_rank(current, above)
+        betti.append(n_q - rank_down - rank_up)
+    return betti
+
+
+def dense_connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) -> int:
+    """The seed profile scan: one full Betti recomputation per probed ``q``."""
     if complex_.is_empty():
         return -2
     limit = complex_.dimension if max_q is None else max_q
     level = -1
     for q in range(limit + 1):
-        if is_homologically_q_connected(complex_, q):
+        betti = dense_reduced_betti_numbers(complex_, max_dimension=q)
+        if all(b == 0 for b in betti[: q + 1]):
             level = q
         else:
             break
     return level
-
-
-def euler_characteristic(complex_: SimplicialComplex) -> int:
-    """The Euler characteristic (a cheap cross-check for the homology code)."""
-    grouped = simplices_by_dimension(complex_)
-    return sum(((-1) ** dim) * len(simplices) for dim, simplices in grouped.items())

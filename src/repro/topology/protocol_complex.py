@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..engine.sweep import validate_engine_choice
 from ..engine.views import RunCache, ViewSource
@@ -41,7 +41,7 @@ from ..model.failure_pattern import CrashEvent, FailurePattern
 from ..model.run import Run
 from ..model.types import ProcessId, Time, Value
 from ..model.view import view_key
-from .complexes import SimplicialComplex
+from .complexes import SimplicialComplex, VertexPool
 
 #: A protocol-complex vertex: (process, canonical view key).
 ComplexVertex = Tuple[ProcessId, tuple]
@@ -100,36 +100,47 @@ def build_protocol_complex(
     validate_engine_choice(engine)
     if engine == "batch":
         return _build_protocol_complex_batch(adversaries, time, t)
-    facets: List[FrozenSet[ComplexVertex]] = []
+    pool = VertexPool()
+    masks: List[int] = []
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
     for adversary in adversaries:
         run = Run(None, adversary, t, horizon=time)
-        vertices = []
+        mask = 0
         for process, view in run.views_at(time).items():
             vertex = (process, view_key(view))
-            vertices.append(vertex)
             vertex_views.setdefault(vertex, (adversary, process))
-        if vertices:
-            facets.append(frozenset(vertices))
-    return ProtocolComplex(SimplicialComplex(facets), time, vertex_views)
+            mask |= 1 << pool.intern(vertex)
+        if mask:
+            masks.append(mask)
+    return ProtocolComplex(SimplicialComplex.from_masks(pool, masks), time, vertex_views)
 
 
 def _build_protocol_complex_batch(
     adversaries: Iterable[Adversary], time: Time, t: int
 ) -> ProtocolComplex:
-    """The trie-shared builder: one facet per view equivalence class."""
+    """The trie-shared builder: one facet per view equivalence class.
+
+    Facets are assembled directly as bitsets over one shared
+    :class:`VertexPool` — each ``(process, view key)`` vertex is interned
+    exactly once for the whole family, and every star complex later derived
+    from the result reuses the same pool and ids.
+    """
     source = ViewSource(adversaries, t, time)
-    facets: List[FrozenSet[ComplexVertex]] = []
+    pool = VertexPool()
+    masks: List[int] = []
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
     for group in source.groups():
         actives = group.active_processes()
         if not actives:
             continue
         representative = group.adversaries[0]
+        mask = 0
         for process in actives:
-            vertex_views.setdefault((process, group.key(process)), (representative, process))
-        facets.append(group.facet())
-    return ProtocolComplex(SimplicialComplex(facets), time, vertex_views)
+            vertex = (process, group.key(process))
+            vertex_views.setdefault(vertex, (representative, process))
+            mask |= 1 << pool.intern(vertex)
+        masks.append(mask)
+    return ProtocolComplex(SimplicialComplex.from_masks(pool, masks), time, vertex_views)
 
 
 def per_round_crash_patterns(

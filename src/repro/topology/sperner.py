@@ -105,8 +105,10 @@ def census(subdivision: SubdividedSimplex, coloring: Coloring) -> Dict[str, int]
     """Summary statistics used by the SPERNER benchmark."""
     fully = fully_colored_simplices(subdivision, coloring)
     return {
-        "vertices": len(subdivision.vertices()),
-        "top_simplices": len(subdivision.top_simplices()),
+        # Counts come straight off the kernel bitsets — no re-materialisation
+        # of the vertex/facet frozensets just to take a length.
+        "vertices": subdivision.complex.vertex_count,
+        "top_simplices": subdivision.top_simplex_count(),
         "fully_colored": len(fully),
         "parity_odd": int(len(fully) % 2 == 1),
     }

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
-from .complexes import SimplicialComplex, Simplex
+from .complexes import SimplicialComplex, Simplex, VertexPool
 
 #: A vertex of a subdivision: the set of original vertices it "averages".
 SubdivisionVertex = FrozenSet[Hashable]
@@ -68,18 +68,27 @@ class SubdividedSimplex:
 
     def top_simplices(self) -> List[Simplex]:
         """The top-dimensional simplexes of the subdivision."""
-        dim = self.dimension
-        return [facet for facet in self.complex.facets if len(facet) - 1 == dim]
+        size = self.dimension + 1
+        return [
+            facet
+            for facet, mask in zip(self.complex.facets, self.complex.facet_masks)
+            if mask.bit_count() == size
+        ]
+
+    def top_simplex_count(self) -> int:
+        """``len(top_simplices())`` straight off the facet bitsets."""
+        size = self.dimension + 1
+        return sum(1 for mask in self.complex.facet_masks if mask.bit_count() == size)
 
     def is_valid_subdivision(self) -> bool:
         """Structural sanity: pure of the right dimension and carrier-consistent."""
         if self.complex.dimension != self.dimension:
             return False
-        top = self.top_simplices()
-        if not top:
+        if self.top_simplex_count() == 0:
             return False
-        for facet in self.complex.facets:
-            if len(facet) - 1 != self.dimension:
+        size = self.dimension + 1
+        for mask in self.complex.facet_masks:
+            if mask.bit_count() != size:
                 return False
         for vertex in self.complex.vertices:
             if not vertex <= frozenset(self.base_vertices):
@@ -92,15 +101,22 @@ def barycentric_subdivision(base_vertices: Sequence[Hashable]) -> SubdividedSimp
 
     Vertices are the non-empty faces of ``σ`` (as frozensets) and simplexes
     are the chains of faces totally ordered by inclusion; the facets are the
-    maximal chains, one per permutation of the original vertices.
+    maximal chains, one per permutation of the original vertices.  The chains
+    are interned straight into one shared :class:`VertexPool` and handed to
+    the kernel as bitsets — maximal chains all have ``n`` vertices and are
+    pairwise distinct, so the maximality filter is skipped outright.
     """
-    base = [frozenset({v}) for v in base_vertices]
+    pool = VertexPool()
     n = len(base_vertices)
-    facets: List[Simplex] = []
+    masks: List[int] = []
     for order in itertools.permutations(base_vertices):
-        chain = [frozenset(order[: i + 1]) for i in range(n)]
-        facets.append(frozenset(chain))
-    return SubdividedSimplex(base_vertices, SimplicialComplex(facets))
+        mask = 0
+        for i in range(n):
+            mask |= 1 << pool.intern(frozenset(order[: i + 1]))
+        masks.append(mask)
+    return SubdividedSimplex(
+        base_vertices, SimplicialComplex.from_masks(pool, masks, maximal=True)
+    )
 
 
 def paper_subdivision(k: int) -> SubdividedSimplex:

@@ -1,9 +1,12 @@
 """Unit tests for abstract simplicial complexes."""
 
+import random
+
 import pytest
 
 from repro.topology import (
     SimplicialComplex,
+    VertexPool,
     boundary_of_simplex,
     full_simplex,
     simplex,
@@ -116,3 +119,112 @@ class TestOperations:
         assert sphere.dimension == 2
         assert len(sphere.facets) == 4
         assert sphere.is_pure()
+
+
+class TestBitsetKernel:
+    def test_pool_interns_each_vertex_once(self):
+        pool = VertexPool()
+        assert pool.intern("x") == pool.intern("x") == 0
+        assert pool.intern("y") == 1
+        assert len(pool) == 2
+        assert pool.id_of("z") is None
+        assert pool.vertex_at(1) == "y"
+
+    def test_complex_shares_explicit_pool(self):
+        pool = VertexPool()
+        a = SimplicialComplex([{1, 2}, {2, 3}], pool=pool)
+        b = SimplicialComplex([{2, 3}, {3, 4}], pool=pool)
+        assert a.pool is b.pool
+        # The shared id space makes equal facets equal masks.
+        assert set(a.facet_masks) & set(b.facet_masks)
+
+    def test_subcomplexes_share_the_parent_pool(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {3, 4}, {5}])
+        for derived in (
+            complex_.star(3),
+            complex_.link(3),
+            complex_.induced({1, 2}),
+            complex_.skeleton(1),
+            complex_.boundary_complex(),
+        ):
+            assert derived.pool is complex_.pool
+
+    def test_facet_masks_match_facets(self):
+        complex_ = SimplicialComplex([{1, 2, 3}, {3, 4}])
+        unmasked = {complex_.pool.unmask(mask) for mask in complex_.facet_masks}
+        assert unmasked == set(complex_.facets)
+        assert complex_.vertex_count == 4
+        assert complex_.pool.unmask(complex_.vertex_mask) == complex_.vertices
+
+    def test_equality_across_pools(self):
+        a = SimplicialComplex([{1, 2}, {2, 3}])
+        b = SimplicialComplex([{2, 3}, {1, 2}], pool=VertexPool())
+        assert a.pool is not b.pool
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_contains_vertex_known_to_pool_but_not_complex(self):
+        pool = VertexPool()
+        pool.intern("foreign")
+        complex_ = SimplicialComplex([{1, 2}], pool=pool)
+        assert {"foreign"} not in complex_
+        assert {1, "foreign"} not in complex_
+        assert {1, 2} in complex_
+
+    def test_maximality_filter_matches_bruteforce(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            candidates = [
+                frozenset(rng.sample(range(8), rng.randint(1, 5))) for _ in range(12)
+            ]
+            expected = {
+                s
+                for s in candidates
+                if not any(s < other for other in candidates)
+            }
+            assert set(SimplicialComplex(candidates).facets) == expected
+
+    def test_nested_chain_collapses_to_top(self):
+        chain = [frozenset(range(size)) for size in range(1, 7)]
+        complex_ = SimplicialComplex(chain)
+        assert complex_.facets == (frozenset(range(6)),)
+
+    def test_from_masks_general_path_filters(self):
+        pool = VertexPool()
+        masks = [pool.mask(s) for s in ({1, 2, 3}, {1, 2}, {4}, {4})]
+        complex_ = SimplicialComplex.from_masks(pool, masks)
+        assert set(complex_.facets) == {frozenset({1, 2, 3}), frozenset({4})}
+
+    def test_join_across_pools(self):
+        left = SimplicialComplex([{1}, {2}])
+        right = SimplicialComplex([{"a"}], pool=VertexPool())
+        joined = left.join(right)
+        assert set(joined.facets) == {frozenset({1, "a"}), frozenset({2, "a"})}
+
+    def test_operations_agree_with_definitions_on_random_complexes(self):
+        """star/link/induced/skeleton cross-checked against their set-level
+        definitions (computed by brute force over the simplices)."""
+        rng = random.Random(13)
+        for _ in range(10):
+            complex_ = SimplicialComplex(
+                frozenset(rng.sample(range(7), rng.randint(1, 4))) for _ in range(8)
+            )
+            simplices = complex_.simplices()
+            vertex = rng.randrange(7)
+            assert complex_.star(vertex).simplices() == {
+                s
+                for s in simplices
+                if any(vertex in other and s <= other for other in simplices)
+            }
+            assert complex_.link(vertex).simplices() == {
+                s - {vertex}
+                for s in simplices
+                if vertex in s and s != {vertex}
+            }
+            keep = set(rng.sample(range(7), 4))
+            assert complex_.induced(keep).simplices() == {
+                s for s in simplices if s <= keep
+            }
+            assert complex_.skeleton(1).simplices() == {
+                s for s in simplices if len(s) <= 2
+            }

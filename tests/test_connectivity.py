@@ -1,10 +1,15 @@
 """Unit tests for GF(2) homology and the connectivity proxy."""
 
+import random
+
 import pytest
 
 from repro.topology import (
     SimplicialComplex,
+    boundary_of_simplex,
     connectivity_profile,
+    dense_connectivity_profile,
+    dense_reduced_betti_numbers,
     euler_characteristic,
     full_simplex,
     is_homologically_q_connected,
@@ -12,6 +17,14 @@ from repro.topology import (
     simplices_by_dimension,
     sphere_complex,
 )
+
+
+def random_complex(rng: random.Random, vertices: int = 7, facets: int = 8) -> SimplicialComplex:
+    """A random small complex (shared by the property tests below)."""
+    pool = range(vertices)
+    return SimplicialComplex(
+        rng.sample(pool, rng.randint(1, min(4, vertices))) for _ in range(facets)
+    )
 
 
 class TestBettiNumbers:
@@ -26,10 +39,31 @@ class TestBettiNumbers:
         two = SimplicialComplex([{0}, {1}])
         assert reduced_betti_numbers(two) == [1]
 
-    @pytest.mark.parametrize("dim", [1, 2, 3])
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
     def test_spheres(self, dim):
+        """Golden: the d-sphere has b̃ = (0, .., 0, 1) for every d up to 4."""
         betti = reduced_betti_numbers(sphere_complex(dim))
         assert betti == [0] * dim + [1]
+
+    @pytest.mark.parametrize("size", [3, 4, 5, 6])
+    def test_boundary_complexes(self, size):
+        """Golden: Bd σ of a (size-1)-simplex is a (size-2)-sphere."""
+        boundary = boundary_of_simplex(range(size))
+        assert reduced_betti_numbers(boundary) == [0] * (size - 2) + [1]
+
+    def test_disjoint_unions(self):
+        """Golden: a disjoint union adds one to b̃_0 per extra component and
+        sums the higher Betti numbers componentwise."""
+        two_spheres = SimplicialComplex(
+            list(sphere_complex(1).facets) + [{"a", "b"}, {"b", "c"}, {"c", "a"}]
+        )
+        assert reduced_betti_numbers(two_spheres) == [1, 2]
+        sphere_and_simplex = SimplicialComplex(
+            list(sphere_complex(2).facets) + [frozenset({"x", "y", "z"})]
+        )
+        assert reduced_betti_numbers(sphere_and_simplex) == [1, 0, 1]
+        point_cloud = SimplicialComplex([{i} for i in range(5)])
+        assert reduced_betti_numbers(point_cloud) == [4]
 
     def test_circle(self):
         circle = SimplicialComplex([{0, 1}, {1, 2}, {2, 0}])
@@ -59,6 +93,15 @@ class TestEulerCharacteristic:
         # χ = 1 + Σ (-1)^q b̃_q for a non-empty complex (reduced homology).
         for complex_ in (sphere_complex(2), full_simplex(range(4)),
                          SimplicialComplex([{0, 1}, {1, 2}, {2, 0}])):
+            betti = reduced_betti_numbers(complex_)
+            alternating = sum(((-1) ** q) * b for q, b in enumerate(betti))
+            assert euler_characteristic(complex_) == 1 + alternating
+
+    def test_euler_matches_betti_on_random_complexes(self):
+        """Property: χ = 1 + Σ (-1)^q b̃_q on a seeded ensemble of random complexes."""
+        rng = random.Random(20160725)
+        for _ in range(40):
+            complex_ = random_complex(rng)
             betti = reduced_betti_numbers(complex_)
             alternating = sum(((-1) ** q) * b for q, b in enumerate(betti))
             assert euler_characteristic(complex_) == 1 + alternating
@@ -99,3 +142,64 @@ class TestGrouping:
     def test_simplices_by_dimension(self):
         grouped = simplices_by_dimension(full_simplex(range(3)))
         assert {dim: len(s) for dim, s in grouped.items()} == {0: 3, 1: 3, 2: 1}
+
+    def test_ordering_survives_repr_collisions(self):
+        """Two distinct vertices with an identical repr used to collide in the
+        repr-keyed sort ordering; the kernel orders by interned vertex id."""
+
+        class Opaque:
+            __slots__ = ("tag",)
+
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return "<opaque>"
+
+        a, b, c = Opaque("a"), Opaque("b"), Opaque("c")
+        complex_ = SimplicialComplex([{a, b}, {b, c}])
+        grouped = simplices_by_dimension(complex_)
+        assert {dim: len(s) for dim, s in grouped.items()} == {0: 3, 1: 2}
+        # The ordering is deterministic and aligned with interned ids.
+        pool = complex_.pool
+        for simplices in grouped.values():
+            keys = [sorted(pool.id_of(v) for v in s) for s in simplices]
+            assert keys == sorted(keys)
+            assert len({tuple(k) for k in keys}) == len(keys)
+
+
+class TestDenseOracle:
+    """The retained seed algorithm agrees with the sparse kernel everywhere."""
+
+    def assert_agree(self, complex_):
+        assert dense_reduced_betti_numbers(complex_) == reduced_betti_numbers(complex_)
+        assert dense_connectivity_profile(complex_) == connectivity_profile(complex_)
+        for q in range(-1, complex_.dimension + 2):
+            assert dense_connectivity_profile(complex_, max_q=q) == connectivity_profile(
+                complex_, max_q=q
+            )
+
+    def test_agreement_on_named_complexes(self):
+        for complex_ in (
+            SimplicialComplex(),
+            SimplicialComplex([{0}]),
+            SimplicialComplex([{0}, {1}]),
+            sphere_complex(1),
+            sphere_complex(2),
+            sphere_complex(3),
+            full_simplex(range(5)),
+            SimplicialComplex([{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}]),
+        ):
+            self.assert_agree(complex_)
+
+    def test_agreement_on_random_complexes(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            self.assert_agree(random_complex(rng))
+
+    def test_agreement_with_truncation(self):
+        sphere = sphere_complex(3)
+        for q in range(4):
+            assert dense_reduced_betti_numbers(sphere, max_dimension=q) == (
+                reduced_betti_numbers(sphere, max_dimension=q)
+            )

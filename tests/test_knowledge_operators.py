@@ -31,6 +31,29 @@ class TestSystemMechanics:
         with pytest.raises(ValueError):
             System([])
 
+    def test_from_family_engines(self):
+        context = Context(n=3, t=1, k=1, max_value=1)
+        adversaries = list(
+            enumerate_adversaries(context, max_crash_round=1, receiver_policy="none")
+        )
+        batch = System.from_family(Opt0(), adversaries, context.t)
+        reference = System.from_family(Opt0(), adversaries, context.t, engine="reference")
+        assert len(batch.runs) == len(reference.runs) == len(adversaries)
+        with pytest.raises(ValueError):
+            System.from_family(Opt0(), adversaries, context.t, engine="bogus")
+
+    def test_from_family_batch_answers_view_queries(self):
+        context = Context(n=3, t=1, k=1, max_value=1)
+        adversaries = list(
+            enumerate_adversaries(context, max_crash_round=1, receiver_policy="none")
+        )
+        system = System.from_family(Opt0(), adversaries, context.t)
+        run = system.runs[0]
+        indist = system.indistinguishable_runs(run, 0, 0)
+        assert run in indist
+        for other in indist:
+            assert other.view(0, 0).process == 0
+
     def test_indistinguishable_runs_contains_self(self, tiny_system):
         system, _ = tiny_system
         run = system.runs[0]
