@@ -38,7 +38,7 @@ from repro.model.view import view_key
 from repro.topology import build_protocol_complex
 from repro.topology.protocol_complex import per_round_crash_patterns
 
-from conftest import print_table
+from conftest import print_table, record_benchmark
 
 
 CONTEXT = Context(n=4, t=2, k=2)
@@ -137,6 +137,27 @@ def test_batch_star_construction_speedup(benchmark):
             )
             for m, count, vertices, rb, rs, bb, bs in rows
         ],
+    )
+    record_benchmark(
+        "complex_build",
+        {
+            "context": {"n": CONTEXT.n, "t": CONTEXT.t, "k": CONTEXT.k},
+            "min_speedup_gate": MIN_SPEEDUP,
+            "results": [
+                {
+                    "m": m,
+                    "adversaries": count,
+                    "vertices": vertices,
+                    "reference_build_seconds": rb,
+                    "reference_stars_seconds": rs,
+                    "batch_build_seconds": bb,
+                    "batch_stars_seconds": bs,
+                    "stars_speedup": rs / bs,
+                    "pipeline_speedup": (rb + rs) / (bb + bs),
+                }
+                for m, count, vertices, rb, rs, bb, bs in rows
+            ],
+        },
     )
     for m, _count, _vertices, ref_build, ref_stars, batch_build, batch_stars in rows:
         # The acceptance gate: star construction without re-simulation.

@@ -1,28 +1,34 @@
 """PROP2 — Proposition 2: hidden capacity >= k implies a (k-1)-connected star complex.
 
-The benchmark builds exhaustive one-round protocol complexes for small systems
-(the "at most k crashes per round" family of the lower-bound literature),
-sweeps every vertex, and cross-tabulates the vertex's hidden capacity against
-the homological connectivity of its star complex.  Proposition 2 predicts that
-no vertex with capacity >= k has a star that fails the (k-1)-connectivity
-proxy; the converse direction (which the paper leaves open) is reported as
-data.
+The benchmark builds exhaustive one- and two-round protocol complexes for
+small systems (the "at most k crashes per round" family of the lower-bound
+literature), sweeps every vertex, and cross-tabulates the vertex's hidden
+capacity against the homological connectivity of its star complex.
+Proposition 2 predicts that no vertex with capacity >= k has a star that
+fails the (k-1)-connectivity proxy; the converse direction (which the paper
+leaves open) is reported as data.
 
-The complexes are built on the batch engine (the default — the family is
-materialised once on the prefix-sharing trie) and every per-vertex lookup
-goes through the complex's memoised ``RunCache`` instead of re-simulating a
-reference ``Run`` per vertex, which is what this survey did before the
-view-materialisation port.
+The complexes are built by the fused view-only scheduler pass (the batch
+default — one traversal per family, sharded across workers when
+``PROP2_PROCESSES`` is set on a multi-core runner), and every vertex's hidden
+capacity is recovered from its canonical key
+(:func:`repro.topology.vertex_capacity`) — the survey no longer simulates a
+single reference ``Run``, where it once paid one per vertex and later one per
+adversary through the memoised cache.  Wall times per case are recorded to
+``BENCH_prop2_connectivity.json``.
 """
 
 from __future__ import annotations
 
+import os
+import time as wall
+
 import pytest
 
 from repro.model import Context
-from repro.topology import build_restricted_complex, connectivity_profile
+from repro.topology import build_restricted_complex, connectivity_profile, vertex_capacity
 
-from conftest import print_table
+from conftest import print_table, record_benchmark
 
 
 CASES = [
@@ -38,23 +44,30 @@ CASES = [
     (6, 2, 2),
 ]
 
+#: Worker processes for the complex-build pass (0 = serial).  The sharded
+#: pass only pays off with real cores; single-core CI boxes keep the default.
+PROCESSES = int(os.environ.get("PROP2_PROCESSES", "0")) or None
+
 
 def run_survey():
     rows = []
+    timings = []
     for n, k, time in CASES:
         context = Context(n=n, t=n - 1, k=k)
-        pc = build_restricted_complex(context, time=time, max_crashes_per_round=k)
+        start = wall.perf_counter()
+        pc = build_restricted_complex(
+            context, time=time, max_crashes_per_round=k, processes=PROCESSES
+        )
+        build_seconds = wall.perf_counter() - start
+        start = wall.perf_counter()
         total = 0
         high_capacity = 0
         consistent = 0
         converse_holds = 0
         converse_cases = 0
-        for adversary, process in pc.vertex_views.values():
-            run = pc.run_cache.get(adversary, context.t, horizon=time)
-            if not run.has_view(process, time):
-                continue
-            capacity = run.view(process, time).hidden_capacity()
-            star = pc.star_of(adversary, process, context.t)
+        for vertex, (adversary, process) in pc.vertex_views.items():
+            capacity = vertex_capacity(vertex)
+            star = pc.complex.star(vertex)
             level = connectivity_profile(star, max_q=k - 1)
             total += 1
             if capacity >= k:
@@ -65,15 +78,17 @@ def run_survey():
                 converse_cases += 1
                 if capacity >= k:
                     converse_holds += 1
+        survey_seconds = wall.perf_counter() - start
         rows.append((n, k, time, total, high_capacity, consistent, converse_cases, converse_holds))
-    return rows
+        timings.append((n, k, time, total, build_seconds, survey_seconds))
+    return rows, timings
 
 
 @pytest.mark.benchmark(group="prop2")
 def test_prop2_capacity_implies_connectivity(benchmark):
     # One round, one iteration: the n=6, m=2 case sweeps a quarter-million
     # adversaries; calibrated re-runs would multiply minutes, not precision.
-    rows = benchmark.pedantic(run_survey, rounds=1, iterations=1)
+    rows, timings = benchmark.pedantic(run_survey, rounds=1, iterations=1)
     print_table(
         "PROP2 — hidden capacity vs (k-1)-connectivity of the star complex",
         [
@@ -87,6 +102,23 @@ def test_prop2_capacity_implies_connectivity(benchmark):
             "of which HC >= k",
         ],
         rows,
+    )
+    record_benchmark(
+        "prop2_connectivity",
+        {
+            "processes": PROCESSES or 1,
+            "results": [
+                {
+                    "n": n,
+                    "k": k,
+                    "m": m,
+                    "vertices": vertices,
+                    "build_seconds": build,
+                    "survey_seconds": survey,
+                }
+                for n, k, m, vertices, build, survey in timings
+            ],
+        },
     )
     for _n, _k, _m, total, high, consistent, _conn, _conv in rows:
         assert total > 0

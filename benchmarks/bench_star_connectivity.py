@@ -40,7 +40,7 @@ from repro.topology import (
     dense_connectivity_profile,
 )
 
-from conftest import print_table
+from conftest import print_table, record_benchmark
 
 
 CASES = [
@@ -86,6 +86,24 @@ def test_sparse_star_connectivity_speedup(benchmark):
             (n, k, m, stars, f"{sparse:.3f}", f"{dense:.3f}", f"{dense / sparse:.1f}x")
             for n, k, m, stars, sparse, dense in rows
         ],
+    )
+    record_benchmark(
+        "star_connectivity",
+        {
+            "min_speedup_gate": MIN_SPEEDUP,
+            "results": [
+                {
+                    "n": n,
+                    "k": k,
+                    "m": m,
+                    "stars": stars,
+                    "sparse_seconds": sparse,
+                    "dense_seconds": dense,
+                    "speedup": dense / sparse,
+                }
+                for n, k, m, stars, sparse, dense in rows
+            ],
+        },
     )
     for n, k, m, _stars, sparse_seconds, dense_seconds in rows:
         assert dense_seconds >= MIN_SPEEDUP * sparse_seconds, (

@@ -20,7 +20,7 @@ from repro import OptMin, Run, SweepRunner, UPMin
 from repro.adversaries.enumeration import enumerate_adversaries
 from repro.model import Context
 
-from conftest import print_table
+from conftest import print_table, record_benchmark
 
 
 CONTEXT = Context(n=5, t=2, k=2)
@@ -90,6 +90,24 @@ def test_batch_engine_speedup(benchmark):
             (name, count, f"{ref:.2f}", f"{batch:.2f}", f"{ref / batch:.1f}x", f"{share:.0f}x")
             for name, count, ref, batch, share in rows
         ],
+    )
+    record_benchmark(
+        "sweep_engine",
+        {
+            "context": {"n": CONTEXT.n, "t": CONTEXT.t, "k": CONTEXT.k},
+            "min_speedup_gate": MIN_SPEEDUP,
+            "results": [
+                {
+                    "protocol": name,
+                    "adversaries": count,
+                    "reference_seconds": ref,
+                    "batch_seconds": batch,
+                    "speedup": ref / batch,
+                    "layer_sharing": share,
+                }
+                for name, count, ref, batch, share in rows
+            ],
+        },
     )
     for name, _count, reference_seconds, batch_seconds, _sharing in rows:
         assert reference_seconds >= MIN_SPEEDUP * batch_seconds, (

@@ -8,10 +8,20 @@ DESIGN.md §4 and EXPERIMENTS.md).  Conventions:
   and *asserts* the qualitative shape (who wins, by how much, where the
   crossover is);
 * the timed portion (the ``benchmark(...)`` call) is the experiment's core
-  computation, so ``--benchmark-only`` runs double as a performance record.
+  computation, so ``--benchmark-only`` runs double as a performance record;
+* engineering benchmarks additionally *record* their trajectory: each calls
+  :func:`record_benchmark` to emit a machine-readable ``BENCH_<name>.json``
+  (wall times, speedup vs the reference/baseline path, system size), so the
+  perf history can be collected as CI artifacts instead of only being
+  asserted against a floor.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
 
 import pytest
 
@@ -25,6 +35,35 @@ def print_table(title: str, headers, rows) -> None:
 
     print()
     print(format_table(headers, rows, title=title))
+
+
+def record_benchmark(name: str, payload: dict) -> str:
+    """Write one benchmark's machine-readable record as ``BENCH_<name>.json``.
+
+    ``payload`` carries the benchmark's own fields — by convention at least
+    wall times in seconds, the realised speedup over the reference/baseline
+    path, and the size of the swept system (adversaries / vertices / runs) —
+    and is wrapped with the interpreter/platform stamp so records from
+    different runners stay comparable.  The destination directory defaults to
+    the working directory and is overridden with ``BENCH_OUTPUT_DIR`` (the CI
+    smoke job points that at its artifact directory).  Returns the path
+    written.
+    """
+    directory = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    record = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[1:],
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[bench] recorded {path}")
+    return path
 
 
 @pytest.fixture

@@ -6,7 +6,8 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
 * ``run``      — execute one protocol against a random or figure adversary and
   print the figure-style run rendering plus the specification check;
 * ``compare``  — decision-time statistics and domination verdicts for several
-  protocols over a random ensemble;
+  protocols over a random ensemble (``--engine`` / ``--processes`` select the
+  execution path, like ``sweep``);
 * ``sweep``    — exhaustively verify a protocol over the enumerated adversary
   space of a context on the batch engine (or the reference oracle), with an
   optional multiprocessing executor;
@@ -103,14 +104,34 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from .engine import validate_engine_choice
+
+    try:
+        validate_engine_choice(args.engine, args.processes)
+    except ValueError as error:
+        print(error)
+        return 2
     context = Context(n=args.n, t=args.t, k=args.k)
     adversaries = AdversaryGenerator(context, seed=args.seed).sample(args.samples)
     protocols = [_protocol(name, args.k) for name in args.protocols]
-    print(statistics_report(collect(protocols, adversaries, context.t, engine=args.engine)))
+    print(
+        statistics_report(
+            collect(
+                protocols, adversaries, context.t, engine=args.engine, processes=args.processes
+            )
+        )
+    )
     print()
     reference_pool = protocols[1:] or [FloodMin(args.k)]
     for reference in reference_pool:
-        report = compare_protocols(protocols[0], reference, adversaries, context.t)
+        report = compare_protocols(
+            protocols[0],
+            reference,
+            adversaries,
+            context.t,
+            engine=args.engine,
+            processes=args.processes,
+        )
         print(report.summary())
     return 0
 
@@ -253,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument(
         "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
+    )
+    compare_parser.add_argument(
+        "--processes",
+        type=_worker_count,
+        default=None,
+        help="multiprocessing workers, >= 1 (batch engine only)",
     )
     compare_parser.set_defaults(func=cmd_compare)
 

@@ -13,20 +13,28 @@ Public surface:
   ``multiprocessing`` pool, and aggregate results;
 * :class:`BatchRun` — per-adversary outcome with the ``Run`` read API;
 * :class:`SweepReport` — sharing-factor bookkeeping of the last sweep;
+* :class:`FusedOutcome` / :func:`run_fused_pass` / :func:`struct_view_key` —
+  the fused single-pass scheduler core: decisions evaluated and canonical
+  views snapshotted in one trie traversal (``SweepRunner.sweep_fused`` is
+  the high-level entry point), sharded across workers when requested;
 * :class:`ArrayView`, :class:`BatchContext`, :class:`StructLayer` — the
   array-backed view layer (mostly useful for tests and instrumentation);
 * :class:`ViewSource` / :class:`GroupViews` / :class:`LayerViews` — canonical
   view materialisation for view consumers (protocol complexes, surgery,
   knowledge), one computation per (prefix-class, input-class);
 * :class:`RunCache` — the memoised front for reference-run view lookups;
-* :class:`PrefixScheduler` — the level-synchronous trie driver.
+* :class:`PrefixScheduler` — the level-synchronous trie driver (its
+  ``passes_started`` counter lets tests assert single-pass construction).
 
-See ``docs/engine.md`` for the architecture notes and
-``tests/test_engine_differential.py`` / ``tests/test_exhaustive.py`` for the
-differential harness pinning this engine to the oracle.
+See ``docs/engine.md`` for the architecture notes (including the pass
+lifecycle: decision-only vs fused vs view-only) and
+``tests/test_engine_differential.py`` / ``tests/test_exhaustive.py`` /
+``tests/test_fused_scheduler.py`` for the differential harness pinning this
+engine to the oracle.
 """
 
 from .arrays import ArrayView, BatchContext, StructLayer
+from .fused import FusedOutcome, run_facets_pass, run_fused_pass, struct_view_key
 from .sweep import (
     ENGINES,
     BatchRun,
@@ -45,6 +53,7 @@ __all__ = [
     "ArrayView",
     "BatchContext",
     "BatchRun",
+    "FusedOutcome",
     "GroupViews",
     "LayerViews",
     "PrefixScheduler",
@@ -56,8 +65,11 @@ __all__ = [
     "ViewSource",
     "batch_system_size",
     "prepare_adversaries",
+    "run_facets_pass",
+    "run_fused_pass",
     "run_one",
     "runs_over_family",
+    "struct_view_key",
     "sweep",
     "validate_engine_choice",
 ]

@@ -77,6 +77,7 @@ class StructLayer:
         "_senders",
         "_round_senders",
         "_ev_view",
+        "_minv",
     )
 
     def __init__(
@@ -115,6 +116,7 @@ class StructLayer:
         self._senders: Optional[List[Optional[FrozenSet[ProcessId]]]] = None
         self._round_senders: Optional[List[Optional[Tuple[FrozenSet[ProcessId], ...]]]] = None
         self._ev_view: Optional[List[Optional[Tuple[float, ...]]]] = None
+        self._minv: Optional[Dict[Tuple[ProcessId, Tuple[Value, ...]], Value]] = None
 
     # ------------------------------------------------------------- factories
     @staticmethod
@@ -275,6 +277,24 @@ class StructLayer:
                 math.inf if e >= NO_EVIDENCE_INT else e
                 for e in self.rows_evidence[process]
             )
+        return cached
+
+    def min_seen_value(self, process: ProcessId, values: Tuple[Value, ...]) -> Value:
+        """``Min<process, time>`` under one input vector, cached on the layer.
+
+        Decision rules evaluate ``Min`` against both the current view and the
+        previous one (``BatchContext.previous_view``); the previous layer
+        already computed its answer during its own round, so caching here —
+        instead of per :class:`ArrayView` instance — halves the ``Min`` scans
+        of low/high-classifying protocols across a sweep.
+        """
+        cache = self._minv
+        if cache is None:
+            cache = self._minv = {}
+        key = (process, values)
+        cached = cache.get(key)
+        if cached is None:
+            cached = cache[key] = min(values[j] for j in self.seen_initial(process))
         return cached
 
     def seen_initial(self, process: ProcessId) -> Tuple[int, ...]:
@@ -480,8 +500,7 @@ class ArrayView:
 
     def min_value(self) -> Value:
         if self._min is None:
-            values = self._values
-            self._min = min(values[j] for j in self._layer.seen_initial(self._process))
+            self._min = self._layer.min_seen_value(self._process, self._values)
         return self._min
 
     def is_low(self, k: int) -> bool:

@@ -18,22 +18,23 @@ An optional ``multiprocessing`` executor fans contiguous chunks of the
 adversary stream out to worker processes; chunks stay contiguous because
 enumeration order (patterns outer, input vectors inner) keeps prefix sharing
 high inside each chunk.
+
+The traversal itself lives in :mod:`repro.engine.fused`: the decision sweep
+is the ``collect_views=False`` mode of the fused scheduler pass, and
+:meth:`SweepRunner.sweep_fused` exposes the full fused product (decisions
+*plus* the canonical-view index) that ``System.from_family`` consumes in a
+single pass.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..model.adversary import Adversary
 from ..model.run import Run, default_horizon
 from ..model.types import Decision, ProcessId, Time, Value
-from .arrays import BatchContext
-from .trie import Group, PrefixScheduler, batch_system_size, prepare_adversaries
-
-#: A finalised (position, decisions, stop_time) triple as produced by the
-#: serial core — cheap to pickle back from worker processes.
-_RawOutcome = Tuple[int, Tuple[Decision, ...], int]
+from .fused import ViewIndex, run_fused_pass
+from .trie import batch_system_size
 
 
 class BatchRun:
@@ -44,7 +45,16 @@ class BatchRun:
     only exists on the reference engine (use a ``Run`` when you need views).
     """
 
-    __slots__ = ("_protocol", "_adversary", "_t", "_horizon", "_decisions", "index", "stop_time")
+    __slots__ = (
+        "_protocol",
+        "_adversary",
+        "_t",
+        "_horizon",
+        "_decisions",
+        "_ordered",
+        "index",
+        "stop_time",
+    )
 
     def __init__(
         self,
@@ -61,6 +71,11 @@ class BatchRun:
         self._t = t
         self._horizon = horizon
         self._decisions: Dict[ProcessId, Decision] = {d.process: d for d in decisions}
+        # The fused core finalises decisions sorted by process, so the
+        # checker-facing ordered tuple is fixed at construction instead of
+        # being re-sorted on every decisions() call (the hot path of every
+        # property check over every adversary of a sweep).
+        self._ordered: Tuple[Decision, ...] = decisions
         #: Position of the adversary in the sweep input.
         self.index = index
         #: The time at which the trie branch of this adversary finalised.
@@ -88,7 +103,7 @@ class BatchRun:
         return self._horizon
 
     def decisions(self) -> Tuple[Decision, ...]:
-        return tuple(self._decisions[p] for p in sorted(self._decisions))
+        return self._ordered
 
     def decision(self, process: ProcessId) -> Optional[Decision]:
         return self._decisions.get(process)
@@ -179,82 +194,6 @@ def validate_engine_choice(engine: str, processes: Optional[int] = None) -> None
         )
 
 
-def _apply_group_decisions(protocol, group: Group, n: int, t: int) -> None:
-    """Run the decision rule at every undecided active node of one trie group.
-
-    Decisions are recorded copy-on-write: the group's dict is replaced, never
-    mutated, because sibling groups may still share it.
-    """
-    layer = group.layer
-    added: Optional[Dict[ProcessId, Decision]] = None
-    time = layer.time
-    values = group.values
-    for i in group.undecided_active():
-        ctx = BatchContext(layer, i, values, n, t)
-        value = protocol.decide(ctx)
-        if value is not None:
-            if added is None:
-                added = {}
-            added[i] = Decision(i, value, time)
-    if added:
-        decisions = dict(group.decisions)
-        decisions.update(added)
-        group.decisions = decisions
-
-
-def _sweep_serial(
-    protocol, adversaries: Sequence[Adversary], t: int, horizon: int, n: Optional[int] = None
-) -> Tuple[List[_RawOutcome], int]:
-    """The serial core: one trie, level-synchronous, early-stopping per branch.
-
-    Returns raw outcomes ordered by input position plus the number of layer
-    simulations performed (for :class:`SweepReport`).
-    """
-    n, prepared = prepare_adversaries(adversaries, t, n)
-    results: List[Optional[_RawOutcome]] = [None] * len(prepared)
-    if not prepared:
-        return [], 0
-    scheduler = PrefixScheduler(n, prepared)
-
-    def finalize(key, group: Group) -> None:
-        decisions = tuple(group.decisions[p] for p in sorted(group.decisions))
-        stop_time = group.layer.time
-        for item in group.members:
-            results[item.pos] = (item.pos, decisions, stop_time)
-        scheduler.drop(key)
-
-    for key, group in list(scheduler.groups.items()):
-        _apply_group_decisions(protocol, group, n, t)
-        if group.all_active_decided():
-            finalize(key, group)
-
-    for time in range(1, horizon + 1):
-        if not scheduler.groups:
-            break
-        scheduler.advance()
-        for key, group in list(scheduler.groups.items()):
-            _apply_group_decisions(protocol, group, n, t)
-            if time == horizon or group.all_active_decided():
-                finalize(key, group)
-
-    # Completeness is an engine invariant: every branch must have finalized
-    # (at early stop or at the horizon).  A scheduler regression that drops a
-    # group must fail loudly here, not silently shrink an "exhaustive" sweep.
-    missing = [pos for pos, outcome in enumerate(results) if outcome is None]
-    if missing:
-        raise RuntimeError(
-            f"sweep scheduler failed to finalize {len(missing)} of {len(results)} "
-            f"adversaries (first missing position: {missing[0]})"
-        )
-    return results, scheduler.layers_computed
-
-
-def _sweep_chunk(payload) -> Tuple[List[_RawOutcome], int]:
-    """Worker entry point for the multiprocessing executor."""
-    protocol, chunk, t, horizon = payload
-    return _sweep_serial(protocol, chunk, t, horizon)
-
-
 class SweepRunner:
     """Batch execution of one protocol over many adversaries.
 
@@ -283,6 +222,11 @@ class SweepRunner:
         Adversaries per worker task (default: an even split into
         ``2 × processes`` contiguous chunks, preserving enumeration-order
         prefix locality).
+    mp_context:
+        ``multiprocessing`` start method for the executor (``"fork"`` where
+        available by default; ``"spawn"`` requires every payload — protocol,
+        adversaries, decisions, view keys — to survive real pickling, which
+        the fused-payload tests exercise).
     """
 
     def __init__(
@@ -292,6 +236,7 @@ class SweepRunner:
         horizon: Optional[int] = None,
         processes: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -302,11 +247,31 @@ class SweepRunner:
         self.horizon = horizon
         self.processes = processes
         self.chunk_size = chunk_size
+        self.mp_context = mp_context
         self.last_report: Optional[SweepReport] = None
 
     # ------------------------------------------------------------------ sweeps
     def sweep(self, adversaries: Iterable[Adversary]) -> List[BatchRun]:
         """Simulate every adversary; results are ordered like the input."""
+        runs, _index = self._run_pass(adversaries, collect_views=False)
+        return runs
+
+    def sweep_fused(
+        self, adversaries: Iterable[Adversary]
+    ) -> Tuple[List[BatchRun], ViewIndex]:
+        """One fused traversal: runs *and* the canonical local-state index.
+
+        The index maps every canonical view key realised by the family (at
+        the points of the system: times ``0 .. max(stop_time, 1)`` per run)
+        to the sorted positions of the runs realising it — exactly the
+        Definition 4 index ``System.from_family`` consumes, produced by the
+        same single pass that evaluated the decisions.
+        """
+        return self._run_pass(adversaries, collect_views=True)
+
+    def _run_pass(
+        self, adversaries: Iterable[Adversary], collect_views: bool
+    ) -> Tuple[List[BatchRun], Optional[ViewIndex]]:
         if self.protocol is None:
             # The reference engine supports bare full-information runs because
             # its product is views; a batch sweep's product is decisions, so a
@@ -318,56 +283,37 @@ class SweepRunner:
         batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
         if not batch:
             self.last_report = SweepReport(0, 0, 0)
-            return []
+            return [], ({} if collect_views else None)
         # Validate homogeneity before any chunking: worker processes only see
         # their own slice, so a mixed batch aligned with chunk boundaries
         # would otherwise be accepted with a wrong horizon for part of it.
         n = batch_system_size(batch)
         horizon = default_horizon(self.protocol, n, self.t, self.horizon)
 
-        if self.processes is not None and self.processes > 1 and len(batch) > 1:
-            raw, layers = self._sweep_parallel(batch, horizon)
-        else:
-            raw, layers = _sweep_serial(self.protocol, batch, self.t, horizon, n)
-
+        outcome = run_fused_pass(
+            self.protocol,
+            batch,
+            self.t,
+            horizon,
+            n=n,
+            processes=self.processes,
+            chunk_size=self.chunk_size,
+            mp_context=self.mp_context,
+            collect_views=collect_views,
+        )
         runs = [
             BatchRun(self.protocol, batch[pos], self.t, horizon, decisions, pos, stop_time)
-            for pos, decisions, stop_time in raw
+            for pos, decisions, stop_time in outcome.raw
         ]
         reference_layers = sum(run.stop_time + 1 for run in runs)
-        self.last_report = SweepReport(len(runs), layers, reference_layers)
-        return runs
-
-    def _sweep_parallel(
-        self, batch: Sequence[Adversary], horizon: int
-    ) -> Tuple[List[_RawOutcome], int]:
-        import multiprocessing
-
-        chunk_size = self.chunk_size
-        if chunk_size is None:
-            chunk_size = max(1, math.ceil(len(batch) / (2 * self.processes)))
-        chunks = [batch[start : start + chunk_size] for start in range(0, len(batch), chunk_size)]
-        payloads = [(self.protocol, list(chunk), self.t, horizon) for chunk in chunks]
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        with context.Pool(processes=self.processes) as pool:
-            chunk_results = pool.map(_sweep_chunk, payloads)
-        raw: List[_RawOutcome] = []
-        layers = 0
-        offset = 0
-        for chunk, (chunk_raw, chunk_layers) in zip(chunks, chunk_results):
-            raw.extend((offset + pos, decisions, stop) for pos, decisions, stop in chunk_raw)
-            layers += chunk_layers
-            offset += len(chunk)
-        # Same completeness invariant the serial core enforces: a chunking or
-        # reassembly bug must fail loudly, never shrink an "exhaustive" sweep.
-        if len(raw) != len(batch):
-            raise RuntimeError(
-                f"parallel sweep reassembled {len(raw)} of {len(batch)} adversaries"
-            )
-        return raw, layers
+        self.last_report = SweepReport(len(runs), outcome.layers_computed, reference_layers)
+        index = outcome.view_index
+        if index is not None:
+            # Chunked merges append per group; one sort per key restores the
+            # run order the reference System constructor indexes in.
+            for positions in index.values():
+                positions.sort()
+        return runs, index
 
     # ------------------------------------------------------------ aggregation
     def decision_times(

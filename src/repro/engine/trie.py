@@ -137,7 +137,16 @@ class Group:
 class PrefixScheduler:
     """Level-synchronous driver of the prefix trie for one sweep batch."""
 
+    #: Process-wide count of trie traversals started (one per scheduler
+    #: construction).  Diagnostics only — it lets tests and benchmarks assert
+    #: that a consumer really performs a *single* pass over a family (the
+    #: fused ``System.from_family`` acceptance criterion) instead of
+    #: re-walking the trie per product.  Worker processes count their own
+    #: passes; the parent's counter reflects parent-side traversals only.
+    passes_started = 0
+
     def __init__(self, n: int, prepared: Sequence[PreparedAdversary]) -> None:
+        PrefixScheduler.passes_started += 1
         self.n = n
         self.time = 0
         root = StructLayer.root(n)

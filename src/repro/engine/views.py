@@ -28,6 +28,16 @@ The canonical key of a view is :func:`repro.model.view.view_key` — the batch
 layers track per-round sender sets precisely so that the *same* key function
 applies to either engine's views, making batch- and reference-built complexes
 vertex-for-vertex identical (pinned by ``tests/test_complex_differential.py``).
+
+Consumers that need decisions *and* views over one family no longer compose a
+``SweepRunner`` pass with a second ``ViewSource`` pass: the fused scheduler
+pass (:mod:`repro.engine.fused`) produces both in one traversal, and the
+protocol-complex builders consume its view-only specialisation.  ``ViewSource``
+remains the materialised, object-level view surface — ``GroupViews`` for
+class-shared structural summaries (hidden sets, witness matrices), the
+knowledge helpers, and everything that wants to *hold* a family's views rather
+than fold them into an index; the retained two-pass
+``System._from_family_two_pass`` baseline still builds on ``groups_at``.
 """
 
 from __future__ import annotations

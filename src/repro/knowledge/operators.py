@@ -128,32 +128,66 @@ class System:
         t: int,
         horizon: Optional[int] = None,
         engine: str = "batch",
+        processes: Optional[int] = None,
     ) -> "System":
         """Build the system of all runs of ``protocol`` over an adversary family.
 
-        ``engine="batch"`` (default) assembles the system without storing one
-        reference ``Run`` per family member, from two trie passes over the
-        family: a :class:`repro.engine.SweepRunner` pass for decisions (one
-        decision evaluation per trie equivalence class) and a layer-retaining
-        :class:`repro.engine.ViewSource` pass for the Definition 4
-        local-state index — every ``(process, time)`` point of every run is
-        keyed once per (prefix-class, input-class), not once per adversary.  The runs of the
-        resulting system are :class:`FamilyRun` facades whose view surface is
-        served lazily by a shared :class:`repro.engine.RunCache`: only the
-        adversaries of points actually queried (or of runs whose views a fact
-        inspects) are ever re-simulated, at most once each — not the whole
-        family up front.
+        ``engine="batch"`` (default) assembles the system from **one** fused
+        trie traversal (:meth:`repro.engine.SweepRunner.sweep_fused`): the
+        protocol's decisions are evaluated and the Definition 4 local-state
+        index is snapshotted as the same scheduler pass advances — every
+        ``(process, time)`` point of every run is keyed once per
+        (prefix-class, input-class), not once per adversary, and branches are
+        dropped the moment they stop contributing points.  With
+        ``processes >= 2`` the fused pass shards contiguous chunks of the
+        family across worker processes, so construction is parallel end to
+        end.  The runs of the resulting system are :class:`FamilyRun` facades
+        whose view surface is served lazily by a shared
+        :class:`repro.engine.RunCache`: only the adversaries of points
+        actually queried (or of runs whose views a fact inspects) are ever
+        re-simulated, at most once each — not the whole family up front.
 
         ``engine="reference"`` is the seed path: one eager oracle ``Run`` per
-        adversary, indexed by direct view iteration.
+        adversary, indexed by direct view iteration.  The superseded
+        two-pass batch construction is retained as
+        :meth:`_from_family_two_pass` — the baseline the fused pass is
+        differentially tested and benchmarked against.
         """
         from ..engine.sweep import SweepRunner, validate_engine_choice
-        from ..engine.views import RunCache, ViewSource
+        from ..engine.views import RunCache
 
-        validate_engine_choice(engine)
+        validate_engine_choice(engine, processes)
         batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
         if engine == "reference":
             return cls([Run(protocol, adversary, t, horizon=horizon) for adversary in batch])
+        if not batch:
+            raise ValueError("a system must contain at least one run")
+        runner = SweepRunner(protocol, t, horizon=horizon, processes=processes)
+        swept, index = runner.sweep_fused(batch)
+        cache = RunCache()
+        system = cls.__new__(cls)
+        system._runs = tuple(FamilyRun(run, cache) for run in swept)
+        system._index = index
+        return system
+
+    @classmethod
+    def _from_family_two_pass(
+        cls, protocol, adversaries: Iterable, t: int, horizon: Optional[int] = None
+    ) -> "System":
+        """The superseded two-pass batch construction (kept as the baseline).
+
+        One :class:`repro.engine.SweepRunner` pass for decisions, then a
+        second, layer-retaining :class:`repro.engine.ViewSource` pass — with
+        no early stopping — for the Definition 4 index.  Exactly the
+        construction :meth:`from_family` fused into a single traversal;
+        retained verbatim so ``tests/test_fused_scheduler.py`` can pin the
+        fused system to it and ``benchmarks/bench_system_build.py`` can
+        measure the fusion (≥1.8x is the acceptance gate).
+        """
+        from ..engine.sweep import SweepRunner
+        from ..engine.views import RunCache, ViewSource
+
+        batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
         if not batch:
             raise ValueError("a system must contain at least one run")
         runner = SweepRunner(protocol, t, horizon=horizon)

@@ -26,6 +26,7 @@ from .protocol_complex import (
     build_protocol_complex,
     build_restricted_complex,
     per_round_crash_patterns,
+    vertex_capacity,
 )
 from .sperner import (
     census,
@@ -71,5 +72,6 @@ __all__ = [
     "simplex",
     "simplices_by_dimension",
     "sperner_lemma_holds",
+    "vertex_capacity",
     "sphere_complex",
 ]

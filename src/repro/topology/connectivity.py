@@ -32,6 +32,14 @@ one complete Betti recomputation per probed ``q``) is retained verbatim as
 the differential-testing oracle for the sparse kernel and the baseline the
 ``bench_star_connectivity`` benchmark measures against.
 
+The complexes this module is pointed at arrive from the fused builder pass
+(:func:`repro.topology.build_restricted_complex`, one view-only scheduler
+traversal, sharded across workers for survey-scale families), and the
+Proposition 2 surveys recover each vertex's hidden capacity from its
+canonical key (:func:`repro.topology.protocol_complex.vertex_capacity`) —
+so a capacity-vs-connectivity census simulates nothing beyond that single
+pass.
+
 The substitution (homology proxy instead of true connectivity) is recorded in
 DESIGN.md §2 and EXPERIMENTS.md (PROP2).
 """

@@ -18,14 +18,15 @@ the actual one.  Proposition 2: if ``<i, m>`` has hidden capacity at least
 Exhaustive protocol complexes are only tractable for small systems, which is
 all Proposition 2's illustration needs.  The builders below take either an
 explicit adversary family or the standard restricted family "at most ``k``
-crashes per round" used by the lower-bound literature ([15, 22]), and an
-``engine`` selector: ``"batch"`` (default) materialises the whole family's
-canonical views on the prefix-sharing trie via
-:class:`repro.engine.ViewSource` — one facet computation per
-(prefix-class, input-class) instead of one reference ``Run`` per adversary —
-while ``"reference"`` keeps the per-adversary oracle path.  The two produce
+crashes per round" used by the lower-bound literature ([15, 22]), plus an
+``engine`` selector and a worker count: ``"batch"`` (default) materialises
+the whole family's canonical views in one view-only scheduler pass
+(:func:`repro.engine.fused.run_facets_pass`) — one facet computation per
+(prefix-class, input-class) instead of one reference ``Run`` per adversary,
+sharded across worker processes when ``processes >= 2`` — while
+``"reference"`` keeps the per-adversary oracle path.  The paths produce
 vertex-for-vertex, facet-for-facet identical complexes
-(``tests/test_complex_differential.py``).
+(``tests/test_complex_differential.py``, ``tests/test_fused_scheduler.py``).
 """
 
 from __future__ import annotations
@@ -34,8 +35,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..engine.fused import run_facets_pass
 from ..engine.sweep import validate_engine_choice
-from ..engine.views import RunCache, ViewSource
+from ..engine.views import RunCache
 from ..model.adversary import Adversary, Context
 from ..model.failure_pattern import CrashEvent, FailurePattern
 from ..model.run import Run
@@ -82,11 +84,28 @@ class ProtocolComplex:
         return (process, view_key(run.view(process, self.time)))
 
 
+def vertex_capacity(vertex: ComplexVertex) -> int:
+    """``HC<i, m>`` of a complex vertex, recovered from its canonical key alone.
+
+    The key carries the ``latest_seen`` / ``earliest_evidence`` rows, and
+    ``<j, l>`` is hidden iff ``latest_seen[j] < l < earliest_evidence[j]``
+    (Definition 2), so the capacity needs no engine and no re-simulation —
+    survey-style consumers (the PROP2 cross-tabulation) read it off the
+    vertices the fused builder pass already produced.
+    """
+    _process, observed_time, latest_seen, evidence, _values, _senders = vertex[1]
+    return min(
+        sum(1 for seen, ev in zip(latest_seen, evidence) if seen < layer < ev)
+        for layer in range(observed_time + 1)
+    )
+
+
 def build_protocol_complex(
     adversaries: Iterable[Adversary],
     time: Time,
     t: int,
     engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> ProtocolComplex:
     """Build the ``time``-round protocol complex over an explicit adversary family.
 
@@ -94,12 +113,15 @@ def build_protocol_complex(
     ``time`` of its processes that are still active at ``time``.  With
     ``engine="batch"`` the family is scheduled on the prefix-sharing trie and
     each (prefix-class, input-class) equivalence class contributes its facet
-    exactly once; ``engine="reference"`` simulates one oracle ``Run`` per
-    adversary.
+    exactly once — and with ``processes >= 2`` the pass shards contiguous
+    chunks of the family across worker processes, each returning its pickled
+    facet payloads (survey-scale families like the n=6 Proposition 2 census
+    build in parallel end to end).  ``engine="reference"`` simulates one
+    oracle ``Run`` per adversary.
     """
-    validate_engine_choice(engine)
+    validate_engine_choice(engine, processes)
     if engine == "batch":
-        return _build_protocol_complex_batch(adversaries, time, t)
+        return _build_protocol_complex_batch(adversaries, time, t, processes)
     pool = VertexPool()
     masks: List[int] = []
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
@@ -116,29 +138,39 @@ def build_protocol_complex(
 
 
 def _build_protocol_complex_batch(
-    adversaries: Iterable[Adversary], time: Time, t: int
+    adversaries: Iterable[Adversary],
+    time: Time,
+    t: int,
+    processes: Optional[int] = None,
 ) -> ProtocolComplex:
     """The trie-shared builder: one facet per view equivalence class.
 
-    Facets are assembled directly as bitsets over one shared
-    :class:`VertexPool` — each ``(process, view key)`` vertex is interned
-    exactly once for the whole family, and every star complex later derived
-    from the result reuses the same pool and ids.
+    One view-only scheduler pass (:func:`repro.engine.fused.run_facets_pass`,
+    sharded across workers when ``processes >= 2``) yields each class's keyed
+    active processes; facets are then assembled directly as bitsets over one
+    shared :class:`VertexPool` — each ``(process, view key)`` vertex is
+    interned exactly once for the whole family, and every star complex later
+    derived from the result reuses the same pool and ids.  Payloads arrive
+    sorted by smallest member position, so every vertex's representative is
+    the first adversary (in family order) realising it, independent of
+    chunking.
     """
-    source = ViewSource(adversaries, t, time)
+    batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+    table, facets = run_facets_pass(batch, t, time, processes=processes)
     pool = VertexPool()
+    # The table is already deduplicated, so each distinct vertex is hashed
+    # into the pool exactly once; facet masks assemble from plain int lookups.
+    bit_of = [1 << pool.intern(vertex) for vertex in table]
     masks: List[int] = []
     vertex_views: Dict[ComplexVertex, Tuple[Adversary, ProcessId]] = {}
-    for group in source.groups():
-        actives = group.active_processes()
-        if not actives:
-            continue
-        representative = group.adversaries[0]
+    for position, vids in facets:
+        representative = batch[position]
         mask = 0
-        for process in actives:
-            vertex = (process, group.key(process))
-            vertex_views.setdefault(vertex, (representative, process))
-            mask |= 1 << pool.intern(vertex)
+        for vid in vids:
+            vertex = table[vid]
+            if vertex not in vertex_views:
+                vertex_views[vertex] = (representative, vertex[0])
+            mask |= bit_of[vid]
         masks.append(mask)
     return ProtocolComplex(SimplicialComplex.from_masks(pool, masks), time, vertex_views)
 
@@ -195,13 +227,14 @@ def build_restricted_complex(
     max_crashes_per_round: Optional[int] = None,
     receiver_policy: str = "canonical",
     engine: str = "batch",
+    processes: Optional[int] = None,
 ) -> ProtocolComplex:
     """The ``time``-round protocol complex over "at most ``k`` crashes per round" adversaries.
 
     ``values`` fixes the input vector (the complex factorises over inputs, and
     for connectivity questions the inputs are irrelevant); it defaults to
-    everyone starting with ``k``.  ``engine`` selects the construction path
-    (see :func:`build_protocol_complex`).
+    everyone starting with ``k``.  ``engine`` / ``processes`` select the
+    construction path (see :func:`build_protocol_complex`).
     """
     k = context.k if max_crashes_per_round is None else max_crashes_per_round
     if values is None:
@@ -213,4 +246,4 @@ def build_restricted_complex(
         )
         if pattern.num_failures <= context.t
     )
-    return build_protocol_complex(adversaries, time, context.t, engine=engine)
+    return build_protocol_complex(adversaries, time, context.t, engine=engine, processes=processes)

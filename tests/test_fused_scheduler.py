@@ -1,0 +1,210 @@
+"""Differential harness for the fused single-pass scheduler.
+
+The fused pass (:mod:`repro.engine.fused`) must be observationally identical
+to the composition it replaced — a decision sweep plus a second,
+layer-retaining view pass — on every product: raw decisions, the Definition 4
+local-state index of ``System.from_family``, and the complex builders' facet
+payloads.  This suite pins
+
+* the single-traversal contract (the ``PrefixScheduler.passes_started``
+  counter: one pass for the fused construction, two for the retained
+  baseline);
+* fused == two-pass == reference systems, index entry for index entry;
+* the ``processes >= 2`` executor: chunk-boundary identity with the serial
+  core (chunk sizes that split trie groups mid-class), the fork and spawn
+  start methods, and the pickled payloads themselves;
+* the canonical-key fast path (:func:`repro.engine.struct_view_key`) against
+  the oracle ``view_key``, including the all-seen shortcut.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.adversaries import AdversaryGenerator
+from repro.adversaries.enumeration import enumerate_adversaries
+from repro.core import Opt0, OptMin, UPMin
+from repro.engine import PrefixScheduler, SweepRunner, struct_view_key
+from repro.engine.fused import facet_groups, fused_serial, run_fused_pass
+from repro.engine.views import LayerViews
+from repro.knowledge import System
+from repro.model import Adversary, Context, Run
+from repro.model.run import default_horizon
+from repro.model.view import view_key
+from repro.topology import build_protocol_complex, build_restricted_complex
+from repro.topology.protocol_complex import per_round_crash_patterns
+
+
+CONTEXT = Context(n=4, t=2, k=2)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return list(
+        enumerate_adversaries(CONTEXT, max_crash_round=2, receiver_policy="canonical", limit=400)
+    )
+
+
+def _ensure_child_import_path(monkeypatch):
+    """Make ``repro`` importable in spawn-context children (no fork inheritance)."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        monkeypatch.setenv("PYTHONPATH", src + (os.pathsep + existing if existing else ""))
+
+
+class TestSinglePassContract:
+    def test_fused_system_is_one_traversal(self, family):
+        before = PrefixScheduler.passes_started
+        System.from_family(OptMin(2), family, CONTEXT.t, engine="batch")
+        assert PrefixScheduler.passes_started - before == 1
+
+    def test_two_pass_baseline_is_two_traversals(self, family):
+        before = PrefixScheduler.passes_started
+        System._from_family_two_pass(OptMin(2), family, CONTEXT.t)
+        assert PrefixScheduler.passes_started - before == 2
+
+    def test_batch_complex_build_is_one_traversal(self, family):
+        before = PrefixScheduler.passes_started
+        build_protocol_complex(family, time=2, t=CONTEXT.t, engine="batch")
+        assert PrefixScheduler.passes_started - before == 1
+
+
+class TestFusedSystemIdentity:
+    @pytest.mark.parametrize("protocol_factory", [lambda: OptMin(2), lambda: UPMin(2), Opt0])
+    def test_fused_equals_two_pass_and_reference(self, family, protocol_factory):
+        fused = System.from_family(protocol_factory(), family, CONTEXT.t, engine="batch")
+        two_pass = System._from_family_two_pass(protocol_factory(), family, CONTEXT.t)
+        reference = System.from_family(protocol_factory(), family, CONTEXT.t, engine="reference")
+        assert fused._index == two_pass._index == reference._index
+        for f, t, r in zip(fused.runs, two_pass.runs, reference.runs):
+            assert f.decisions() == t.decisions() == r.decisions()
+
+    def test_restricted_family_identity(self):
+        """The Prop2-style family: crashes in every round up to the horizon."""
+        adversaries = [
+            Adversary([CONTEXT.k] * CONTEXT.n, pattern)
+            for pattern in per_round_crash_patterns(CONTEXT.n, 2, CONTEXT.k)
+            if pattern.num_failures <= CONTEXT.t
+        ]
+        fused = System.from_family(OptMin(2), adversaries, CONTEXT.t, engine="batch")
+        two_pass = System._from_family_two_pass(OptMin(2), adversaries, CONTEXT.t)
+        assert fused._index == two_pass._index
+
+    def test_processes_rejected_on_reference_engine(self, family):
+        with pytest.raises(ValueError, match="processes"):
+            System.from_family(OptMin(2), family, CONTEXT.t, engine="reference", processes=2)
+
+
+class TestParallelExecutor:
+    def test_chunk_boundary_identity_with_serial(self, family):
+        """Odd chunk sizes split trie classes mid-group; products must not change."""
+        serial_runs, serial_index = SweepRunner(OptMin(2), CONTEXT.t).sweep_fused(family)
+        for chunk_size in (7, 64):
+            runner = SweepRunner(OptMin(2), CONTEXT.t, processes=2, chunk_size=chunk_size)
+            runs, index = runner.sweep_fused(family)
+            assert index == serial_index
+            assert [run.decisions() for run in runs] == [
+                run.decisions() for run in serial_runs
+            ]
+            assert [run.stop_time for run in runs] == [run.stop_time for run in serial_runs]
+
+    def test_parallel_system_construction(self, family):
+        serial = System.from_family(OptMin(2), family, CONTEXT.t, engine="batch")
+        parallel = System.from_family(
+            OptMin(2), family, CONTEXT.t, engine="batch", processes=2
+        )
+        assert serial._index == parallel._index
+        assert [r.decisions() for r in serial.runs] == [r.decisions() for r in parallel.runs]
+
+    def test_parallel_complex_build(self, family):
+        serial = build_protocol_complex(family, time=2, t=CONTEXT.t, engine="batch")
+        parallel = build_protocol_complex(
+            family, time=2, t=CONTEXT.t, engine="batch", processes=2
+        )
+        reference = build_protocol_complex(family, time=2, t=CONTEXT.t, engine="reference")
+        assert parallel.complex == serial.complex == reference.complex
+        # The compact payload keeps representative bookkeeping deterministic:
+        # chunking must not change which adversary represents a vertex.
+        assert parallel.vertex_views == serial.vertex_views
+
+    def test_parallel_restricted_complex(self):
+        serial = build_restricted_complex(CONTEXT, time=1)
+        parallel = build_restricted_complex(CONTEXT, time=1, processes=2)
+        assert serial.complex == parallel.complex
+        assert serial.vertex_views == parallel.vertex_views
+
+    def test_spawn_context_round_trips_payloads(self, family, monkeypatch):
+        """The spawn start method pickles everything for real — protocol,
+        adversaries, raw outcomes and the keyed layer snapshot."""
+        _ensure_child_import_path(monkeypatch)
+        small = family[:60]
+        serial_runs, serial_index = SweepRunner(OptMin(2), CONTEXT.t).sweep_fused(small)
+        runner = SweepRunner(
+            OptMin(2), CONTEXT.t, processes=2, chunk_size=25, mp_context="spawn"
+        )
+        runs, index = runner.sweep_fused(small)
+        assert index == serial_index
+        assert [run.decisions() for run in runs] == [run.decisions() for run in serial_runs]
+
+    def test_fused_payloads_survive_pickling(self, family):
+        """The worker payload itself (raw decisions + view index) round-trips."""
+        horizon = default_horizon(OptMin(2), CONTEXT.n, CONTEXT.t, None)
+        outcome = fused_serial(OptMin(2), family[:50], CONTEXT.t, horizon)
+        payload = (outcome.raw, outcome.layers_computed, outcome.view_index)
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+    def test_facet_payloads_survive_pickling(self, family):
+        payload = facet_groups(family[:50], CONTEXT.t, 2)
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestStructViewKey:
+    def test_matches_oracle_view_key(self):
+        """struct_view_key over the layer chain == view_key over oracle views,
+        node for node — including failure-free branches (the all-seen fast
+        path shares the input tuple instead of copying it)."""
+        generator = AdversaryGenerator(CONTEXT, seed=7)
+        adversaries = generator.sample(12) + generator.sample(3, num_failures=0)
+        compared = 0
+        for adversary in adversaries:
+            run = Run(None, adversary, CONTEXT.t, horizon=3)
+            layered = LayerViews(adversary, CONTEXT.t, 3)
+            for time in range(4):
+                layer = layered._layers[time]
+                for process in range(adversary.n):
+                    if not run.has_view(process, time):
+                        with pytest.raises(KeyError):
+                            struct_view_key(layer, process, adversary.values)
+                        continue
+                    assert struct_view_key(layer, process, adversary.values) == view_key(
+                        run.view(process, time)
+                    )
+                    compared += 1
+        assert compared > 100
+
+    def test_decision_only_pass_has_no_index(self, family):
+        horizon = default_horizon(OptMin(2), CONTEXT.n, CONTEXT.t, None)
+        outcome = run_fused_pass(
+            OptMin(2), family[:20], CONTEXT.t, horizon, collect_views=False
+        )
+        assert outcome.view_index is None
+        assert len(outcome.raw) == 20
+
+
+class TestBatchRunOrderedDecisions:
+    def test_decisions_precomputed_and_sorted(self, family):
+        runs = SweepRunner(OptMin(2), CONTEXT.t).sweep(family[:30])
+        for run in runs:
+            first = run.decisions()
+            # Precomputed at construction: repeated calls return the same tuple.
+            assert run.decisions() is first
+            assert [d.process for d in first] == sorted(d.process for d in first)
+            # The per-process lookup surface stays consistent with the tuple.
+            for decision in first:
+                assert run.decision(decision.process) == decision
