@@ -10,11 +10,17 @@ leaves open) is reported as data.
 
 The complexes are built by the fused view-only scheduler pass (the batch
 default — one traversal per family, sharded across workers when
-``PROP2_PROCESSES`` is set on a multi-core runner), and every vertex's hidden
+``PROP2_PROCESSES`` is set on a multi-core runner), every vertex's hidden
 capacity is recovered from its canonical key
-(:func:`repro.topology.vertex_capacity`) — the survey no longer simulates a
-single reference ``Run``, where it once paid one per vertex and later one per
-adversary through the memoised cache.  Wall times per case are recorded to
+(:func:`repro.topology.vertex_capacity`), and the survey itself runs on the
+**symmetry quotient** (:func:`repro.topology.capacity_connectivity_census`
+with ``symmetry="quotient"``): vertices are grouped by their canonical
+view-key class and homology runs once per star-isomorphism class through the
+signature-keyed :class:`repro.topology.ConnectivityCache` — ~35 homology
+computations instead of 5316 on the n=6, k=2, m=2 case.  The
+quotient-vs-exhaustive identity is gated by
+``benchmarks/bench_symmetry_quotient.py`` and pinned by
+``tests/test_quotient_differential.py``; wall times per case are recorded to
 ``BENCH_prop2_connectivity.json``.
 """
 
@@ -26,7 +32,7 @@ import time as wall
 import pytest
 
 from repro.model import Context
-from repro.topology import build_restricted_complex, connectivity_profile, vertex_capacity
+from repro.topology import build_restricted_complex, capacity_connectivity_census
 
 from conftest import print_table, record_benchmark
 
@@ -39,8 +45,9 @@ CASES = [
     # The n >= 6, m >= 2 regime the sparse bitset kernel opened: ~260k
     # adversaries, a 5316-vertex / 32298-facet complex.  The seed paid a
     # quadratic maximality filter on construction and a full face-lattice
-    # enumeration per star here; the kernel's star-indexed filter and
-    # dimension-bounded homology keep the whole survey tractable.
+    # enumeration per star here; the kernel's star-indexed filter,
+    # dimension-bounded homology and the symmetry-quotient survey keep the
+    # whole census tractable.
     (6, 2, 2),
 ]
 
@@ -60,27 +67,12 @@ def run_survey():
         )
         build_seconds = wall.perf_counter() - start
         start = wall.perf_counter()
-        total = 0
-        high_capacity = 0
-        consistent = 0
-        converse_holds = 0
-        converse_cases = 0
-        for vertex, (adversary, process) in pc.vertex_views.items():
-            capacity = vertex_capacity(vertex)
-            star = pc.complex.star(vertex)
-            level = connectivity_profile(star, max_q=k - 1)
-            total += 1
-            if capacity >= k:
-                high_capacity += 1
-                if level >= k - 1:
-                    consistent += 1
-            if level >= k - 1:
-                converse_cases += 1
-                if capacity >= k:
-                    converse_holds += 1
+        census = capacity_connectivity_census(pc, k, symmetry="quotient")
         survey_seconds = wall.perf_counter() - start
-        rows.append((n, k, time, total, high_capacity, consistent, converse_cases, converse_holds))
-        timings.append((n, k, time, total, build_seconds, survey_seconds))
+        rows.append((n, k, time) + census.row)
+        timings.append(
+            (n, k, time, census.vertices, census.classes, build_seconds, survey_seconds)
+        )
     return rows, timings
 
 
@@ -107,16 +99,18 @@ def test_prop2_capacity_implies_connectivity(benchmark):
         "prop2_connectivity",
         {
             "processes": PROCESSES or 1,
+            "symmetry": "quotient",
             "results": [
                 {
                     "n": n,
                     "k": k,
                     "m": m,
                     "vertices": vertices,
+                    "classes": classes,
                     "build_seconds": build,
                     "survey_seconds": survey,
                 }
-                for n, k, m, vertices, build, survey in timings
+                for n, k, m, vertices, classes, build, survey in timings
             ],
         },
     )

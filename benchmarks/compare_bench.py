@@ -1,0 +1,151 @@
+"""Diff freshly emitted ``BENCH_*.json`` records against committed baselines.
+
+The benchmarks assert qualitative gates (who wins, by at least how much) but
+the *trajectory* — how each wall time moves commit over commit — was only
+kept as CI artifacts.  This tool closes the loop: it loads every
+``BENCH_<name>.json`` in a records directory, pairs it with the snapshot of
+the same name under ``benchmarks/baselines/``, walks both payloads for
+comparable numbers, and reports
+
+* **regressions** — a ``*_seconds`` value more than ``--threshold`` (default
+  20%) above the baseline, or a ``speedup`` value more than the threshold
+  below it;
+* **improvements** — the same movements in the favourable direction;
+* everything else as stable.
+
+Exit status is 0 with warnings printed by default (shared runners are noisy;
+the gates, not this diff, are the hard floor); ``--strict`` exits 1 on any
+regression for local acceptance runs.  Refresh the snapshots by running the
+benchmarks with ``BENCH_OUTPUT_DIR=benchmarks/baselines``.
+
+Usage::
+
+    python benchmarks/compare_bench.py [--records DIR] [--baselines DIR]
+                                       [--threshold 0.2] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: Keys compared as "lower is better" (wall times).
+_TIME_SUFFIX = "_seconds"
+#: Keys compared as "higher is better".
+_HIGHER_IS_BETTER = ("speedup",)
+#: Identifying fields used to label list entries, in label order.  Pairing
+#: by identity instead of list position keeps the diff honest when a PR
+#: inserts or reorders a benchmark case: the unmatched entry is skipped
+#: rather than compared against a different case's numbers.
+_IDENTITY_KEYS = ("benchmark", "name", "case", "n", "t", "k", "m", "time", "stars")
+
+
+def _item_label(item, position: int) -> str:
+    """A stable label for a list entry: identifying fields if any, else position."""
+    if isinstance(item, dict):
+        identity = [f"{key}={item[key]}" for key in _IDENTITY_KEYS if key in item]
+        if identity:
+            return ",".join(identity)
+    return str(position)
+
+
+def _numeric_leaves(payload, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Flatten a record to ``dotted.path -> number`` comparison leaves."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            yield from _numeric_leaves(payload[key], f"{path}.{key}" if path else key)
+    elif isinstance(payload, list):
+        for position, item in enumerate(payload):
+            yield from _numeric_leaves(item, f"{path}[{_item_label(item, position)}]")
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf.endswith(_TIME_SUFFIX) or leaf in _HIGHER_IS_BETTER:
+            yield path, float(payload)
+
+
+def compare_records(fresh: dict, baseline: dict, threshold: float) -> List[Tuple[str, str, float, float, float]]:
+    """Per-leaf verdicts: ``(status, path, baseline, fresh, relative change)``.
+
+    ``status`` is ``"regression"``, ``"improvement"`` or ``"stable"``; the
+    relative change is signed in the *unfavourable* direction (positive =
+    worse), so one threshold applies to both time and speedup leaves.
+    """
+    fresh_leaves = dict(_numeric_leaves(fresh))
+    verdicts = []
+    for path, base_value in _numeric_leaves(baseline):
+        new_value = fresh_leaves.get(path)
+        if new_value is None or base_value == 0:
+            continue
+        change = (new_value - base_value) / base_value
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf in _HIGHER_IS_BETTER:
+            change = -change
+        if change > threshold:
+            status = "regression"
+        elif change < -threshold:
+            status = "improvement"
+        else:
+            status = "stable"
+        verdicts.append((status, path, base_value, new_value, change))
+    return verdicts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", default=".", help="directory of fresh BENCH_*.json files")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
+        help="directory of committed baseline snapshots",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2, help="relative change treated as movement (default 0.2)"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit 1 when any regression is found"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(
+        name
+        for name in os.listdir(args.baselines)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    if not names:
+        print(f"no baselines under {args.baselines}")
+        return 2
+    regressions = 0
+    compared = 0
+    for name in names:
+        fresh_path = os.path.join(args.records, name)
+        if not os.path.exists(fresh_path):
+            print(f"[skip]       {name}: no fresh record")
+            continue
+        with open(os.path.join(args.baselines, name), encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        for status, path, base_value, new_value, change in compare_records(
+            fresh, baseline, args.threshold
+        ):
+            compared += 1
+            if status == "stable":
+                continue
+            if status == "regression":
+                regressions += 1
+            print(
+                f"[{status}] {name}: {path} {base_value:.4g} -> {new_value:.4g} "
+                f"({'+' if change >= 0 else ''}{100 * change:.0f}% vs baseline)"
+            )
+    print(
+        f"compared {compared} metrics across {len(names)} baselines: "
+        f"{regressions} regression(s) beyond {100 * args.threshold:.0f}%"
+    )
+    return 1 if args.strict and regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
 """Adversary construction: random generators, the paper's figures, Lemma 2 surgery, enumeration."""
 
 from .enumeration import (
+    AdversaryOrbit,
     count_adversaries,
+    count_orbits,
     enumerate_adversaries,
     enumerate_failure_patterns,
     enumerate_input_vectors,
+    enumerate_orbits,
 )
 from .generators import (
     AdversaryGenerator,
@@ -18,16 +21,19 @@ from .surgery import SurgeryCheck, SurgeryResult, lemma2_surgery, verify_surgery
 
 __all__ = [
     "AdversaryGenerator",
+    "AdversaryOrbit",
     "Scenario",
     "SurgeryCheck",
     "SurgeryResult",
     "block_crash_adversary",
     "count_adversaries",
+    "count_orbits",
     "crash_chain_adversary",
     "crash_chain_events",
     "enumerate_adversaries",
     "enumerate_failure_patterns",
     "enumerate_input_vectors",
+    "enumerate_orbits",
     "failure_free_adversaries",
     "figure1_scenario",
     "figure2_scenario",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.adversary import Adversary, Context
@@ -46,7 +47,12 @@ def _receiver_subsets(
         yield frozenset()
         for q in others:
             yield frozenset({q})
-        yield frozenset(others)
+        if len(others) > 1:
+            # With one other process the full set IS the singleton already
+            # yielded; emitting it again used to duplicate every n=2
+            # crashing adversary (breaking "exhaustive" counts and the
+            # orbit partition sum(sizes) == count).
+            yield frozenset(others)
     elif policy == "all":
         for size in range(len(others) + 1):
             for subset in itertools.combinations(others, size):
@@ -125,7 +131,9 @@ def estimate_adversary_count(
     if receiver_policy == "none":
         subsets = 1
     elif receiver_policy == "canonical":
-        subsets = n + 1
+        # ∅, the n-1 singletons, and the full set — which collapses onto the
+        # lone singleton when n = 2 (mirroring _receiver_subsets' dedup).
+        subsets = n + 1 if n > 2 else n
     elif receiver_policy == "all":
         subsets = 2 ** (n - 1)
     else:
@@ -149,5 +157,98 @@ def count_adversaries(
         1
         for _ in enumerate_adversaries(
             context, max_crash_round, receiver_policy, max_failures
+        )
+    )
+
+
+# ------------------------------------------------------------ orbit streams
+@dataclass(frozen=True)
+class AdversaryOrbit:
+    """One process-renaming orbit of a restricted adversary space.
+
+    Attributes
+    ----------
+    representative:
+        The canonical orbit representative (itself a member of the space —
+        every enumeration restriction is renaming-invariant, so the spaces
+        are closed under the group action).
+    size:
+        The number of distinct adversaries in the orbit, which is exactly the
+        number of space members the representative stands for.
+    certificate:
+        The permutation ``π`` with ``representative = π · first member``,
+        where *first member* is the first orbit member the underlying
+        enumeration produced; decision times and views lift back through it.
+    """
+
+    representative: Adversary
+    size: int
+    certificate: Tuple[int, ...]
+
+
+def enumerate_orbits(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[AdversaryOrbit]:
+    """One :class:`AdversaryOrbit` per process-renaming orbit of the space.
+
+    Lazily streams :func:`enumerate_adversaries` through canonical-form
+    hashing — the full space is never materialised, only the set of canonical
+    keys — and yields each orbit the first time it is met, with its exact
+    size from the orbit–stabiliser theorem
+    (:func:`repro.symmetry.adversary_orbit_size`; valid because the
+    restricted spaces are closed under renaming).  The orbits partition the
+    space: ``sum(orbit.size) == count_adversaries(...)`` under the same
+    restrictions.  ``limit`` caps the number of *orbits* yielded (a smoke-run
+    device, like the adversary-level ``limit``).
+    """
+    from ..symmetry import adversary_orbit_size, canonical_adversary
+
+    if limit is not None and limit <= 0:
+        return
+    produced = 0
+    seen = set()
+    # One pattern-canonicalisation per distinct failure pattern: the
+    # enumeration iterates input vectors in the inner loop, so the cache
+    # amortises the graph search across every vector sharing the pattern.
+    pattern_cache: dict = {}
+    for adversary in enumerate_adversaries(
+        context, max_crash_round, receiver_policy, max_failures
+    ):
+        canonical = canonical_adversary(adversary, pattern_cache=pattern_cache)
+        if canonical.key in seen:
+            continue
+        seen.add(canonical.key)
+        yield AdversaryOrbit(
+            canonical.representative,
+            adversary_orbit_size(canonical.representative),
+            canonical.permutation,
+        )
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def count_orbits(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+) -> int:
+    """The number of process-renaming orbits of the restricted space.
+
+    Counts through the lazy dedup front only — no orbit sizes are computed,
+    which skips one automorphism-kernel backtrack per orbit relative to
+    draining :func:`enumerate_orbits`.
+    """
+    from ..symmetry import iter_orbit_representatives
+
+    return sum(
+        1
+        for _ in iter_orbit_representatives(
+            enumerate_adversaries(context, max_crash_round, receiver_policy, max_failures)
         )
     )

@@ -50,17 +50,24 @@ class ProtocolStatistics:
         """Mean last-correct-decision time over the family."""
         return self.total_time / self.runs if self.runs else 0.0
 
-    def record(self, last_decision: Optional[Time], bound: Optional[int]) -> None:
-        """Fold one run's outcome into the statistics."""
-        self.runs += 1
+    def record(
+        self, last_decision: Optional[Time], bound: Optional[int], weight: int = 1
+    ) -> None:
+        """Fold one run's outcome into the statistics.
+
+        ``weight`` is the orbit size of a quotient sweep's representative —
+        every aggregate scales by it, so quotient statistics equal the
+        exhaustive ones (decision times are constant on renaming orbits).
+        """
+        self.runs += weight
         if last_decision is None:
-            self.undecided_runs += 1
+            self.undecided_runs += weight
             return
-        self.histogram[last_decision] = self.histogram.get(last_decision, 0) + 1
-        self.total_time += last_decision
+        self.histogram[last_decision] = self.histogram.get(last_decision, 0) + weight
+        self.total_time += weight * last_decision
         self.worst_time = max(self.worst_time, last_decision)
         if bound is not None and last_decision > bound:
-            self.bound_violations += 1
+            self.bound_violations += weight
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -94,24 +101,39 @@ def collect(
     bound_for: Optional[Callable[[object, Adversary], int]] = None,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> Dict[str, ProtocolStatistics]:
     """Run every protocol against every adversary and summarise decision times.
 
     ``bound_for(protocol, adversary)`` may supply a per-run decision-time
     bound (e.g. Proposition 1's ``⌊f/k⌋ + 1``); violations are counted in the
-    returned statistics.
+    returned statistics.  ``symmetry="quotient"`` sweeps one representative
+    per process-renaming orbit and orbit-weights the statistics — the
+    resulting histograms and means equal the exhaustive ones (paper bounds
+    depend only on ``f``, which is constant on orbits, so bound accounting
+    is exact too).
     """
+    from ..symmetry import validate_symmetry_choice
+
+    validate_symmetry_choice(symmetry)
     # Materialise once: the family is iterated per protocol and then zipped
     # against its results, so a one-shot iterator must not be consumed early.
     adversaries = list(adversaries)
+    weights: Sequence[int]
+    if symmetry == "quotient":
+        from ..symmetry import quotient_family
+
+        adversaries, weights, _indices = quotient_family(adversaries)
+    else:
+        weights = [1] * len(adversaries)
     stats: Dict[str, ProtocolStatistics] = {}
     for protocol in protocols:
         name = getattr(protocol, "name", repr(protocol))
         entry = ProtocolStatistics(protocol=name)
         times = _last_decision_times(protocol, adversaries, t, engine, processes)
-        for adversary, last in zip(adversaries, times):
+        for adversary, last, weight in zip(adversaries, times, weights):
             bound = bound_for(protocol, adversary) if bound_for is not None else None
-            entry.record(last, bound)
+            entry.record(last, bound, weight=weight)
         stats[name] = entry
     return stats
 

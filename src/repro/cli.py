@@ -79,6 +79,18 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="adversary generator seed")
 
 
+def _add_symmetry_argument(parser: argparse.ArgumentParser) -> None:
+    from .symmetry import SYMMETRIES
+
+    parser.add_argument(
+        "--symmetry",
+        default=SYMMETRIES[0],
+        choices=list(SYMMETRIES),
+        help="'quotient' sweeps one representative per process-renaming orbit "
+        "(orbit-weighted reports; identical verdicts)",
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     context = Context(n=args.n, t=args.t, k=args.k)
     if args.scenario == "random":
@@ -117,7 +129,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(
         statistics_report(
             collect(
-                protocols, adversaries, context.t, engine=args.engine, processes=args.processes
+                protocols,
+                adversaries,
+                context.t,
+                engine=args.engine,
+                processes=args.processes,
+                symmetry=args.symmetry,
             )
         )
     )
@@ -131,6 +148,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             context.t,
             engine=args.engine,
             processes=args.processes,
+            symmetry=args.symmetry,
         )
         print(report.summary())
     return 0
@@ -141,12 +159,22 @@ def cmd_figure4(args: argparse.Namespace) -> int:
 
     scenario = figure4_scenario(k=args.k, rounds=args.rounds)
     t = scenario.context.t
+    adversary = scenario.adversary
     print(
-        f"Fig. 4 adversary: n={scenario.adversary.n}, t=f={t}, deadline ⌊t/k⌋+1={t // args.k + 1}"
+        f"Fig. 4 adversary: n={adversary.n}, t=f={t}, deadline ⌊t/k⌋+1={t // args.k + 1}"
     )
+    if args.symmetry == "quotient":
+        # Decision times are constant on renaming orbits, so the canonical
+        # representative reproduces the figure; print the certificate so the
+        # per-process times can be lifted back by hand if wanted.
+        from .symmetry import canonical_adversary
+
+        canonical = canonical_adversary(adversary)
+        adversary = canonical.representative
+        print(f"  (quotient: canonical representative via π={list(canonical.permutation)})")
     for name in ("upmin", "optmin", "uearly", "early", "floodmin"):
         protocol = _protocol(name, args.k)
-        run = run_one(protocol, scenario.adversary, t, args.engine)
+        run = run_one(protocol, adversary, t, args.engine)
         print(f"  {protocol.name:45s} last correct decision at time {run.last_decision_time()}")
     return 0
 
@@ -199,6 +227,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         context.t,
         engine=args.engine,
         processes=args.processes,
+        symmetry=args.symmetry,
     )
     elapsed = time.perf_counter() - start
     rate = report.runs_checked / elapsed if elapsed > 0 else float("inf")
@@ -207,7 +236,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"({args.receiver_policy} deliveries): {report.runs_checked} adversaries"
     )
     print(report.summary())
-    print(f"engine={args.engine}, {elapsed:.2f}s ({rate:,.0f} adversaries/s)")
+    print(
+        f"engine={args.engine}, symmetry={args.symmetry}, "
+        f"{elapsed:.2f}s ({rate:,.0f} adversaries/s)"
+    )
     if report.violations:
         for index, violation in report.violations[:10]:
             print(f"  adversary #{index}: {violation}")
@@ -281,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing workers, >= 1 (batch engine only)",
     )
+    _add_symmetry_argument(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
 
     sweep_parser = subparsers.add_parser(
@@ -312,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--limit", type=int, default=None, help="truncate the adversary stream (smoke runs)"
     )
+    _add_symmetry_argument(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     figure4_parser = subparsers.add_parser("figure4", help="regenerate the Fig. 4 comparison")
@@ -320,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure4_parser.add_argument(
         "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
     )
+    _add_symmetry_argument(figure4_parser)
     figure4_parser.set_defaults(func=cmd_figure4)
 
     surgery_parser = subparsers.add_parser("surgery", help="run the Lemma 2 surgery demonstration")

@@ -246,11 +246,45 @@ def fused_serial(
     return FusedOutcome(results, scheduler.layers_computed, index)
 
 
-def _chunk_ranges(total: int, processes: int, chunk_size: Optional[int]) -> List[Tuple[int, int]]:
-    """Contiguous ``(start, end)`` chunks (enumeration order keeps prefix sharing high)."""
-    if chunk_size is None:
-        chunk_size = max(1, math.ceil(total / (2 * processes)))
-    return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+#: The smallest auto-tuned worker chunk.  Spawning a pool, pickling payloads
+#: and merging results costs on the order of tens of milliseconds; a chunk of
+#: fewer adversaries than this simulates faster than it ships, so the planner
+#: refuses to slice below it and falls back to the serial core when the
+#: family cannot fill even two such chunks (the 1–2-core-runner regime where
+#: the sharded executor used to lose to serial).
+MIN_CHUNK_INPUTS = 512
+
+
+def _plan_chunks(
+    total: int, processes: int, chunk_size: Optional[int]
+) -> Optional[List[Tuple[int, int]]]:
+    """Contiguous ``(start, end)`` chunks, or ``None`` when serial wins.
+
+    Auto-tuned sizing (``chunk_size=None``) aims for two chunks per worker —
+    enumeration order keeps prefix sharing high inside each contiguous chunk
+    — but never slices below :data:`MIN_CHUNK_INPUTS`; a family that fits in
+    one such chunk is returned as ``None``, meaning "skip the pool entirely".
+    An explicit ``chunk_size`` opts out of both the floor and the serial
+    fallback (the chunk-boundary identity tests rely on exact slicing).
+    """
+    auto = chunk_size is None
+    if auto:
+        chunk_size = max(MIN_CHUNK_INPUTS, math.ceil(total / (2 * processes)))
+        if total <= chunk_size:
+            return None
+    ranges = [
+        (start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)
+    ]
+    if auto and len(ranges) >= 2 and ranges[-1][1] - ranges[-1][0] < MIN_CHUNK_INPUTS:
+        # Fold a sub-floor remainder into its neighbour: a tail chunk below
+        # the floor ships (pool task + pickled payload) more than it saves.
+        ranges[-2] = (ranges[-2][0], ranges[-1][1])
+        ranges.pop()
+    if auto and len(ranges) == 1:
+        # One chunk left after folding = the whole family on one worker;
+        # the serial core does the same work without a pool.
+        return None
+    return ranges
 
 
 def _pool_context(mp_context: Optional[str]):
@@ -279,17 +313,20 @@ def _init_worker_inputs(inputs) -> None:
     _WORKER_INPUTS = inputs
 
 
-def _run_sharded(worker, inputs, total, processes, chunk_size, mp_context):
+def _run_sharded(worker, inputs, ranges, processes, mp_context):
     """Map contiguous index ranges over a pool that owns ``inputs``.
 
     The one executor both sharded passes use; returns the per-chunk results
     zipped with their ``(start, end)`` ranges so callers can offset
-    chunk-local positions while merging.
+    chunk-local positions while merging.  Never spawns more workers than
+    there are chunks — an idle worker still pays interpreter startup and (on
+    spawn contexts) a full pickled copy of the inputs.
     """
-    ranges = _chunk_ranges(total, processes, chunk_size)
     context = _pool_context(mp_context)
     with context.Pool(
-        processes=processes, initializer=_init_worker_inputs, initargs=(inputs,)
+        processes=min(processes, len(ranges)),
+        initializer=_init_worker_inputs,
+        initargs=(inputs,),
     ) as pool:
         return list(zip(ranges, pool.map(worker, ranges)))
 
@@ -319,16 +356,20 @@ def run_fused_pass(
     pool; each worker returns its pickled ``(decisions, layer snapshot)``
     payload and the parent merges them by offsetting chunk-local positions.
     ``mp_context`` selects the start method (``"fork"`` by default; the spawn
-    path is exercised by the pickling tests).
+    path is exercised by the pickling tests).  Chunk sizing is auto-tuned by
+    :func:`_plan_chunks`: families too small to amortise the pool run on the
+    serial core even when ``processes >= 2`` is requested.
     """
     if processes is None or processes <= 1 or len(adversaries) <= 1:
+        return fused_serial(protocol, adversaries, t, horizon, n, collect_views)
+    ranges = _plan_chunks(len(adversaries), processes, chunk_size)
+    if ranges is None:
         return fused_serial(protocol, adversaries, t, horizon, n, collect_views)
     chunk_results = _run_sharded(
         _fused_chunk,
         (protocol, adversaries, t, horizon, collect_views),
-        len(adversaries),
+        ranges,
         processes,
-        chunk_size,
         mp_context,
     )
     raw: List[RawOutcome] = []
@@ -418,8 +459,11 @@ def run_facets_pass(
     """
     if processes is None or processes <= 1 or len(adversaries) <= 1:
         return facet_groups(adversaries, t, time)
+    ranges = _plan_chunks(len(adversaries), processes, chunk_size)
+    if ranges is None:
+        return facet_groups(adversaries, t, time)
     chunk_results = _run_sharded(
-        _facets_chunk, (adversaries, t, time), len(adversaries), processes, chunk_size, mp_context
+        _facets_chunk, (adversaries, t, time), ranges, processes, mp_context
     )
     table: List[FacetVertex] = []
     table_index: Dict[FacetVertex, int] = {}

@@ -108,6 +108,8 @@ class System:
         if not runs:
             raise ValueError("a system must contain at least one run")
         self._runs: Tuple[Run, ...] = tuple(runs)
+        self._symmetry = "none"
+        self._orbit_weights: Optional[Tuple[int, ...]] = None
         # Index: canonical view key (which embeds process and time) -> list of
         # run indices whose owner has that local state at that point.
         self._index: Dict[Tuple, List[int]] = {}
@@ -129,6 +131,7 @@ class System:
         horizon: Optional[int] = None,
         engine: str = "batch",
         processes: Optional[int] = None,
+        symmetry: str = "none",
     ) -> "System":
         """Build the system of all runs of ``protocol`` over an adversary family.
 
@@ -152,14 +155,38 @@ class System:
         two-pass batch construction is retained as
         :meth:`_from_family_two_pass` — the baseline the fused pass is
         differentially tested and benchmarked against.
+
+        ``symmetry="quotient"`` builds the *quotient* system: the family is
+        grouped by process-renaming orbit
+        (:func:`repro.symmetry.quotient_family`), one representative run is
+        built per orbit (the fused pass sees only representatives, so
+        decision evaluation and view snapshotting happen once per class),
+        and the Definition 4 index is keyed by the **canonical** view-key
+        class (:func:`repro.symmetry.canonical_view_key`) so that local
+        states of renamed runs coincide.  For renaming-invariant facts over
+        a renaming-closed family, ``knows`` on the quotient system equals
+        ``knows`` on the full system (pinned by
+        ``tests/test_quotient_differential.py``); :attr:`orbit_weights`
+        records how many family members each run stands for.
         """
         from ..engine.sweep import SweepRunner, validate_engine_choice
         from ..engine.views import RunCache
+        from ..symmetry import validate_symmetry_choice
 
         validate_engine_choice(engine, processes)
+        validate_symmetry_choice(symmetry)
         batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+        weights: Optional[Tuple[int, ...]] = None
+        if symmetry == "quotient":
+            from ..symmetry import quotient_family
+
+            batch, weight_list, _indices = quotient_family(batch)
+            weights = tuple(weight_list)
         if engine == "reference":
-            return cls([Run(protocol, adversary, t, horizon=horizon) for adversary in batch])
+            system = cls([Run(protocol, adversary, t, horizon=horizon) for adversary in batch])
+            if symmetry == "quotient":
+                system._quotient_index(weights)
+            return system
         if not batch:
             raise ValueError("a system must contain at least one run")
         runner = SweepRunner(protocol, t, horizon=horizon, processes=processes)
@@ -168,7 +195,39 @@ class System:
         system = cls.__new__(cls)
         system._runs = tuple(FamilyRun(run, cache) for run in swept)
         system._index = index
+        system._symmetry = "none"
+        system._orbit_weights = None
+        if symmetry == "quotient":
+            system._quotient_index(weights)
         return system
+
+    def _quotient_index(self, weights: Tuple[int, ...]) -> None:
+        """Re-key the Definition 4 index by canonical view-key classes.
+
+        Points whose local states differ only by a process renaming fall into
+        one class, which is what makes quotient knowledge of
+        renaming-invariant facts agree with the full system's.
+        """
+        from ..symmetry import canonical_view_key
+
+        merged: Dict[Tuple, List[int]] = {}
+        for key, indices in self._index.items():
+            merged.setdefault(canonical_view_key(key), []).extend(indices)
+        for indices in merged.values():
+            indices.sort()
+        self._index = merged
+        self._symmetry = "quotient"
+        self._orbit_weights = weights
+
+    @property
+    def symmetry(self) -> str:
+        """``"none"`` for a full system, ``"quotient"`` for an orbit-quotiented one."""
+        return self._symmetry
+
+    @property
+    def orbit_weights(self) -> Optional[Tuple[int, ...]]:
+        """Per-run orbit member counts of a quotient system (``None`` otherwise)."""
+        return self._orbit_weights
 
     @classmethod
     def _from_family_two_pass(
@@ -215,6 +274,8 @@ class System:
         system = cls.__new__(cls)
         system._runs = runs
         system._index = index
+        system._symmetry = "none"
+        system._orbit_weights = None
         return system
 
     @property
@@ -227,9 +288,16 @@ class System:
 
         ``view`` may be a reference ``View`` or a batch ``ArrayView`` — any
         object the canonical :func:`repro.model.view.view_key` applies to.
-        Raises if no run of the system realises the state.
+        In a quotient system the lookup is by the state's renaming class, so
+        views of runs that were quotiented away still resolve (to the runs
+        realising any renaming of the state).  Raises if no run of the
+        system realises the state.
         """
         key = view_key(view)
+        if self._symmetry == "quotient":
+            from ..symmetry import canonical_view_key
+
+            key = canonical_view_key(key)
         if key not in self._index:
             raise ValueError("the given point does not belong to this system")
         return [self._runs[idx] for idx in self._index[key]]

@@ -1,0 +1,255 @@
+"""Exact canonical signatures of simplicial complexes under vertex relabelling.
+
+Simplicial homology — and therefore everything
+:mod:`repro.topology.connectivity` computes — depends only on the abstract
+facet structure of a complex: relabelling the vertices by *any* bijection
+preserves every Betti number.  The Proposition 2 surveys probe thousands of
+star complexes that are pairwise isomorphic in exactly this sense (renaming
+the processes of the underlying executions relabels the ``(process, view)``
+vertices), so one homology computation per isomorphism class suffices.
+
+:func:`star_signature` computes an **exact** canonical form of the facet
+hypergraph: equal signatures guarantee an isomorphism (they are the same
+canonically-relabelled facet list), never merely a matching hash — a cache
+keyed by it can only ever collapse complexes with identical homology.  The
+algorithm is the same individualisation–refinement recipe as
+:mod:`repro.symmetry.canonical`, on the bipartite vertex–facet incidence
+structure:
+
+1. vertices start with their facet-membership degree profile (optionally
+   sharpened by a caller-supplied relabelling-invariant colour);
+2. vertex and facet colours refine each other until stable;
+3. cells of *twins* (vertices with identical facet membership) are never
+   branched on — any internal order yields the same facet list — and the
+   remaining ties are broken by individualising each candidate and keeping
+   the lexicographically smallest relabelled facet list.
+
+Star complexes are small (tens of vertices, tens of facets), so the search
+is effectively linear in practice; it remains exact in the worst case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..topology.complexes import SimplicialComplex, iter_bits
+from .canonical import _cells, invert_permutation, view_key_attribute_rows
+
+#: A canonical signature: the facet list over canonically-relabelled vertex
+#: positions, together with the canonical colour sequence.
+Signature = Tuple
+
+
+def _local_structure(complex_: SimplicialComplex):
+    """Vertices (as pool objects) and facets (as local-index tuples)."""
+    pool = complex_.pool
+    position_of: Dict[int, int] = {}
+    vertices = []
+    for vid in iter_bits(complex_.vertex_mask):
+        position_of[vid] = len(vertices)
+        vertices.append(pool.vertex_at(vid))
+    facets = [
+        tuple(position_of[vid] for vid in iter_bits(mask)) for mask in complex_.facet_masks
+    ]
+    return vertices, facets
+
+
+def _refine(
+    colors: List[int], memberships: Sequence[Sequence[int]], facets: Sequence[Tuple[int, ...]]
+) -> List[int]:
+    """Stable vertex/facet colour co-refinement on the incidence structure."""
+    while True:
+        facet_colors = [tuple(sorted(colors[v] for v in facet)) for facet in facets]
+        signatures = [
+            (colors[v], tuple(sorted(facet_colors[f] for f in memberships[v])))
+            for v in range(len(colors))
+        ]
+        palette = {signature: rank for rank, signature in enumerate(sorted(set(signatures)))}
+        refined = [palette[signature] for signature in signatures]
+        if len(palette) == len(set(colors)):
+            return refined
+        colors = refined
+
+
+def _encode(
+    colors: Sequence[int], facets: Sequence[Tuple[int, ...]], raw: Sequence[Hashable]
+) -> Signature:
+    """The relabelled facet list + raw colour sequence at a discrete leaf.
+
+    The colour component carries the *raw* initial colours (not their
+    per-complex palette ranks): two complexes may only share a signature when
+    the canonically-ordered colour sequences themselves coincide, which is
+    what makes caller-supplied ``vertex_color`` restrictions comparable
+    across complexes.
+    """
+    cells = _cells(colors)
+    position = [0] * len(colors)
+    next_position = 0
+    for cell in cells:
+        for v in cell:
+            position[v] = next_position
+            next_position += 1
+    relabelled = tuple(
+        sorted(tuple(sorted(position[v] for v in facet)) for facet in facets)
+    )
+    ordering = sorted(range(len(colors)), key=lambda v: position[v])
+    return (tuple(raw[v] for v in ordering), relabelled)
+
+
+def star_signature(
+    complex_: SimplicialComplex,
+    vertex_color: Optional[Callable[[Hashable], Hashable]] = None,
+) -> Signature:
+    """The exact canonical form of the complex's facet structure.
+
+    Two complexes receive equal signatures **iff** some bijection of their
+    vertex sets (colour-preserving, when ``vertex_color`` is supplied) maps
+    one facet family onto the other — in particular they then have identical
+    reduced Betti numbers in every dimension, which is what makes the
+    signature a sound homology-cache key.
+
+    ``vertex_color`` may supply any relabelling-invariant colour (e.g. the
+    canonical view-key class of a protocol-complex vertex); it restricts
+    which complexes can share a signature but speeds up canonicalisation.
+    The empty complex has the empty signature.
+
+    The search is exact but worst-case exponential in the complex's own
+    symmetry: a star made of many mutually-symmetric "petals" branches once
+    per petal arrangement.  That is fine for the small complexes of the
+    tests; survey consumers canonicalising protocol-complex stars should use
+    :func:`renaming_star_signature`, whose search space is the (tiny)
+    process-renaming group instead of the full vertex-relabelling group.
+    """
+    vertices, facets = _local_structure(complex_)
+    size = len(vertices)
+    if size == 0:
+        return ((), ())
+    memberships: List[List[int]] = [[] for _ in range(size)]
+    for index, facet in enumerate(facets):
+        for v in facet:
+            memberships[v].append(index)
+    degree_profile = [
+        tuple(sorted(len(facets[f]) for f in memberships[v])) for v in range(size)
+    ]
+    if vertex_color is None:
+        raw = [degree_profile[v] for v in range(size)]
+    else:
+        raw = [(vertex_color(vertices[v]), degree_profile[v]) for v in range(size)]
+    palette = {color: rank for rank, color in enumerate(sorted(set(raw)))}
+    initial = [palette[color] for color in raw]
+    colors = _refine(list(initial), memberships, facets)
+
+    membership_sets = [frozenset(m) for m in memberships]
+    best: List[Optional[Signature]] = [None]
+
+    def recurse(colors: List[int]) -> None:
+        branch_cell = None
+        for cell in _cells(colors):
+            if len(cell) > 1 and len({membership_sets[v] for v in cell}) > 1:
+                branch_cell = cell
+                break
+        if branch_cell is None:
+            encoding = _encode(colors, facets, raw)
+            if best[0] is None or encoding < best[0]:
+                best[0] = encoding
+            return
+        for chosen in branch_cell:
+            individualised = list(colors)
+            individualised[chosen] = size + colors[chosen]
+            recurse(_refine(individualised, memberships, facets))
+
+    recurse(colors)
+    return best[0]
+
+
+# ----------------------------------------------- process-renaming signatures
+def renaming_star_signature(complex_: SimplicialComplex) -> Signature:
+    """Canonical form of a protocol-complex star under **process renaming**.
+
+    Vertices must be ``(process, view key)`` pairs (the protocol-complex
+    vertex shape).  Two stars receive equal signatures iff some renaming
+    ``σ ∈ Sₙ`` maps one onto the other, vertex for vertex and facet for
+    facet — the symmetry that relates the stars of a renaming-closed family
+    (the restricted Proposition 2 complexes), and in particular a simplicial
+    isomorphism, so equal signatures guarantee equal homology.
+
+    Unlike :func:`star_signature`, the search ranges over the ``n!`` process
+    renamings — cut down by per-process invariant profiles to the genuinely
+    tied ones — never over the ``|V|!`` vertex relabellings, so wide
+    symmetric stars canonicalise in microseconds instead of exploding.
+
+    A view key has only unary per-process attributes, so the whole star is
+    captured by, per vertex, its observer, time, and attribute-row tuple;
+    rows are ranked by sorted content (a renaming-invariant order), which
+    makes the leaf encodings integer tuples comparable across stars.
+    """
+    pool = complex_.pool
+    position_of: Dict[int, int] = {}
+    vertices: List[Tuple] = []
+    for vid in iter_bits(complex_.vertex_mask):
+        position_of[vid] = len(vertices)
+        vertices.append(pool.vertex_at(vid))
+    if not vertices:
+        return ((), ())
+    facets = [
+        tuple(position_of[vid] for vid in iter_bits(mask)) for mask in complex_.facet_masks
+    ]
+    n = len(vertices[0][1][2])
+
+    # Rank the distinct attribute rows by content (renaming-invariant); the
+    # row encoding is owned by canonical.view_key_attribute_rows so the
+    # signature and the canonical view-key classes can never diverge.
+    raw_rows: List[List[Tuple]] = []
+    contents = set()
+    for _process, key in vertices:
+        rows = view_key_attribute_rows(key)
+        raw_rows.append(rows)
+        contents.update(rows)
+    rank = {row: position for position, row in enumerate(sorted(contents))}
+    vertex_rows = [tuple(rank[row] for row in rows) for rows in raw_rows]
+    times = [key[1] for _process, key in vertices]
+    observers = [process for process, _key in vertices]
+
+    # Candidate renamings: block-assign target ids cell by cell, where cells
+    # group processes with equal (invariant) profiles over the star.
+    profiles: List[Tuple] = []
+    for q in range(n):
+        profiles.append(
+            tuple(
+                sorted(
+                    (times[v], vertex_rows[v][q], 1 if observers[v] == q else 0)
+                    for v in range(len(vertices))
+                )
+            )
+        )
+    cells: Dict[Tuple, List[int]] = {}
+    for q in range(n):
+        cells.setdefault(profiles[q], []).append(q)
+    ordered_cells = [cells[profile] for profile in sorted(cells)]
+
+    best: Optional[Signature] = None
+    for arrangement in itertools.product(
+        *(itertools.permutations(cell) for cell in ordered_cells)
+    ):
+        perm = [0] * n
+        target = 0
+        for cell in arrangement:
+            for q in cell:
+                perm[q] = target
+                target += 1
+        inverse = invert_permutation(tuple(perm))
+        per_vertex = [
+            (perm[observers[v]], times[v], tuple(vertex_rows[v][inverse[q]] for q in range(n)))
+            for v in range(len(vertices))
+        ]
+        encoded = sorted(per_vertex)
+        position = {encoding: position for position, encoding in enumerate(encoded)}
+        relabelled_position = [position[encoding] for encoding in per_vertex]
+        candidate: Signature = (
+            tuple(encoded),
+            tuple(sorted(tuple(sorted(relabelled_position[v] for v in facet)) for facet in facets)),
+        )
+        if best is None or candidate < best:
+            best = candidate
+    return best

@@ -13,6 +13,7 @@ from .complexes import (
     sphere_complex,
 )
 from .connectivity import (
+    ConnectivityCache,
     connectivity_profile,
     dense_connectivity_profile,
     dense_reduced_betti_numbers,
@@ -22,9 +23,11 @@ from .connectivity import (
     simplices_by_dimension,
 )
 from .protocol_complex import (
+    CapacityCensus,
     ProtocolComplex,
     build_protocol_complex,
     build_restricted_complex,
+    capacity_connectivity_census,
     per_round_crash_patterns,
     vertex_capacity,
 )
@@ -45,6 +48,8 @@ from .subdivision import (
 )
 
 __all__ = [
+    "CapacityCensus",
+    "ConnectivityCache",
     "ProtocolComplex",
     "SimplicialComplex",
     "SubdividedSimplex",
@@ -53,6 +58,7 @@ __all__ = [
     "boundary_of_simplex",
     "build_protocol_complex",
     "build_restricted_complex",
+    "capacity_connectivity_census",
     "census",
     "coloring_from_decisions",
     "connectivity_profile",

@@ -343,6 +343,16 @@ class SimplicialComplex:
         )
 
     # ------------------------------------------------------------ operations
+    def star_facet_count(self, vertex: Vertex) -> int:
+        """``|facets(St(v, K))|`` without materialising the star subcomplex.
+
+        The star's facets are exactly this complex's facets containing the
+        vertex, so the count is one star-index lookup — what survey guards
+        probe per vertex before extracting any representative stars.
+        """
+        vid = self._pool.id_of(vertex)
+        return len(self._facets_with_bit(vid)) if vid is not None else 0
+
     def star(self, vertex: Vertex) -> "SimplicialComplex":
         """``St(v, K)``: all simplexes containing ``v`` and their faces.
 

@@ -32,6 +32,14 @@ one complete Betti recomputation per probed ``q``) is retained verbatim as
 the differential-testing oracle for the sparse kernel and the baseline the
 ``bench_star_connectivity`` benchmark measures against.
 
+Homology is additionally invariant under vertex relabelling, and survey
+consumers probe families of pairwise-isomorphic stars;
+:class:`ConnectivityCache` memoises profiles under the exact canonical
+signature of :func:`repro.symmetry.star_signature`, so each isomorphism
+class is eliminated once (``bench_symmetry_quotient`` gates the collapse,
+``tests/test_quotient_differential.py`` pins cached == dense-oracle
+profiles on the exhaustive n=4, t=2 star family).
+
 The complexes this module is pointed at arrive from the fused builder pass
 (:func:`repro.topology.build_restricted_complex`, one view-only scheduler
 traversal, sharded across workers for survey-scale families), and the
@@ -55,9 +63,11 @@ from .complexes import SimplicialComplex, Simplex, iter_bits
 def _gf2_rank(rows: List[int]) -> int:
     """Rank of a GF(2) matrix whose rows are given as Python integers (bitsets).
 
-    Incremental Gaussian elimination: maintain one pivot row per leading-bit
-    position; a new row is reduced against existing pivots and either becomes
-    a new pivot (raising the rank) or vanishes (linearly dependent).
+    Incremental Gaussian elimination: pivots live in a dict keyed by their
+    leading-bit index (``int.bit_length() - 1``), so reducing a new row costs
+    one dict lookup per XOR instead of a scan over the accepted pivots; the
+    row either becomes a new pivot (raising the rank) or vanishes (linearly
+    dependent).
     """
     pivots: Dict[int, int] = {}
     rank = 0
@@ -131,14 +141,16 @@ def _boundary_rank_masks(lower: Sequence[int], upper: Sequence[int]) -> int:
     """
     if not upper or not lower:
         return 0
-    index_of = {mask: position for position, mask in enumerate(lower)}
+    # Map each lower-basis mask straight to its row bit: one dict hit per
+    # face lookup, no per-face shift re-derivation.
+    bit_of = {mask: 1 << position for position, mask in enumerate(lower)}
     rows: List[int] = []
     for mask in upper:
         row = 0
         remaining = mask
         while remaining:
             low = remaining & -remaining
-            row |= 1 << index_of[mask ^ low]
+            row |= bit_of[mask ^ low]
             remaining ^= low
         rows.append(row)
     return _gf2_rank(rows)
@@ -235,6 +247,63 @@ def connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) 
     # Dimensions above the complex's own dimension contribute nothing, so a
     # complex clean through its top dimension is connected through ``limit``.
     return limit
+
+
+class ConnectivityCache:
+    """Isomorphism-keyed memoisation of :func:`connectivity_profile`.
+
+    Reduced homology is invariant under any relabelling of a complex's
+    vertices, and the Proposition 2 surveys probe thousands of star complexes
+    that differ *only* by such a relabelling (renaming the processes of the
+    underlying executions).  The cache keys each profile by the **exact**
+    canonical form of the facet structure
+    (:func:`repro.symmetry.star_signature` — equal signatures guarantee an
+    isomorphism, never merely a matching hash), so homology runs once per
+    star-isomorphism class instead of once per vertex, with no possibility of
+    a collision serving a wrong profile.
+
+    ``signature`` selects the canonical form: the default
+    :func:`repro.symmetry.star_signature` keys by the full
+    vertex-relabelling isomorphism class (maximal hits; exponential worst
+    case on highly symmetric stars), while
+    :func:`repro.symmetry.renaming_star_signature` keys protocol-complex
+    stars by their process-renaming class — the survey configuration, whose
+    search space is the ``n!`` renamings rather than the ``|V|!``
+    relabellings.  Both are exact canonical forms, so either way a hit can
+    only ever serve a profile of an isomorphic complex.
+
+    ``max_q`` is part of the key: a profile truncated at ``k - 1`` says
+    nothing about higher dimensions.  ``hits`` / ``misses`` expose the
+    collapse factor for benchmarks.
+    """
+
+    __slots__ = ("_profiles", "_signature", "hits", "misses")
+
+    def __init__(self, signature=None) -> None:
+        self._profiles: Dict[Tuple, int] = {}
+        self._signature = signature
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def profile(self, complex_: SimplicialComplex, max_q: int | None = None) -> int:
+        """``connectivity_profile(complex_, max_q)`` through the signature cache."""
+        signature = self._signature
+        if signature is None:
+            from ..symmetry import star_signature  # deferred: symmetry imports this package
+
+            signature = self._signature = star_signature
+        key = (signature(complex_), max_q)
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        level = connectivity_profile(complex_, max_q=max_q)
+        self._profiles[key] = level
+        return level
 
 
 def euler_characteristic(complex_: SimplicialComplex) -> int:

@@ -100,6 +100,126 @@ def vertex_capacity(vertex: ComplexVertex) -> int:
     )
 
 
+@dataclass(frozen=True)
+class CapacityCensus:
+    """One Proposition 2 census row: capacity vs star connectivity over a complex.
+
+    ``vertices`` counts every vertex of the complex; ``high_capacity`` those
+    with ``HC >= k``; ``consistent`` the high-capacity vertices whose star
+    passes the ``(k-1)``-connectivity proxy (Proposition 2 predicts
+    ``consistent == high_capacity``); ``connected_stars`` /
+    ``connected_high`` tabulate the converse direction.  ``classes`` is the
+    number of canonical vertex classes the survey actually eliminated
+    homology for (equals ``vertices`` on the exhaustive path), and
+    ``homology_runs`` the number of connectivity profiles computed from
+    scratch (cache misses on the quotient path).
+    """
+
+    vertices: int
+    high_capacity: int
+    consistent: int
+    connected_stars: int
+    connected_high: int
+    classes: int
+    homology_runs: int
+
+    @property
+    def row(self) -> Tuple[int, int, int, int, int]:
+        """The five census counts (the cross-path identity the tests pin)."""
+        return (
+            self.vertices,
+            self.high_capacity,
+            self.consistent,
+            self.connected_stars,
+            self.connected_high,
+        )
+
+
+def capacity_connectivity_census(
+    pc: ProtocolComplex, k: int, symmetry: str = "none"
+) -> CapacityCensus:
+    """Cross-tabulate hidden capacity against star ``(k-1)``-connectivity.
+
+    The Proposition 2 survey over a protocol complex.  ``symmetry="none"``
+    probes every vertex's star (the exhaustive path).  ``symmetry="quotient"``
+    groups the vertices by their canonical view-key class
+    (:func:`repro.symmetry.canonical_view_key` — exact orbit ids, valid
+    because renaming a renaming-closed family's execution is an automorphism
+    of its complex, so same-class vertices have isomorphic stars and equal
+    capacities), probes one representative star per class through a
+    :class:`repro.topology.connectivity.ConnectivityCache` keyed by
+    :func:`repro.symmetry.renaming_star_signature`, and weights each verdict
+    by the class size — the returned counts are identical to the exhaustive
+    ones (pinned by ``tests/test_quotient_differential.py`` and gated at
+    survey scale by ``benchmarks/bench_symmetry_quotient.py``).
+
+    Quotient soundness requires the complex's family to be closed under
+    process renaming, which holds for :func:`build_restricted_complex`
+    (renaming-invariant pattern restrictions, constant input vector).  The
+    quotient path guards the precondition with a cheap necessary condition —
+    every class member's star must have the representative's facet count (a
+    renaming maps stars facet-for-facet) — so a census over a non-closed
+    family raises instead of silently weighting a wrong profile; the guard
+    cannot catch every violation (equal counts, different homology), which
+    is why closure remains a documented requirement.
+    """
+    from ..symmetry import canonical_view_key, validate_symmetry_choice
+
+    validate_symmetry_choice(symmetry)
+    cache = None
+    if symmetry == "none":
+        from .connectivity import connectivity_profile
+
+        groups: Iterable[Tuple[ComplexVertex, int]] = (
+            (vertex, 1) for vertex in pc.vertex_views
+        )
+        classes = len(pc.vertex_views)
+        profile = lambda star: connectivity_profile(star, max_q=k - 1)  # noqa: E731
+    else:
+        from ..symmetry import renaming_star_signature
+        from .connectivity import ConnectivityCache
+
+        grouped: Dict[Tuple, List[ComplexVertex]] = {}
+        for vertex in pc.vertex_views:
+            grouped.setdefault(canonical_view_key(vertex[1]), []).append(vertex)
+        for members in grouped.values():
+            facet_counts = {pc.complex.star_facet_count(member) for member in members}
+            if len(facet_counts) > 1:
+                raise ValueError(
+                    "capacity_connectivity_census(symmetry='quotient') requires a "
+                    "family closed under process renaming: vertices of one "
+                    "canonical class have stars of different sizes "
+                    f"({sorted(facet_counts)} facets) in this complex"
+                )
+        groups = ((members[0], len(members)) for members in grouped.values())
+        classes = len(grouped)
+        cache = ConnectivityCache(signature=renaming_star_signature)
+        profile = lambda star: cache.profile(star, max_q=k - 1)  # noqa: E731
+
+    vertices = high = consistent = connected = connected_high = 0
+    for representative, weight in groups:
+        capacity = vertex_capacity(representative)
+        level = profile(pc.complex.star(representative))
+        vertices += weight
+        if capacity >= k:
+            high += weight
+            if level >= k - 1:
+                consistent += weight
+        if level >= k - 1:
+            connected += weight
+            if capacity >= k:
+                connected_high += weight
+    return CapacityCensus(
+        vertices,
+        high,
+        consistent,
+        connected,
+        connected_high,
+        classes,
+        classes if cache is None else cache.misses,
+    )
+
+
 def build_protocol_complex(
     adversaries: Iterable[Adversary],
     time: Time,

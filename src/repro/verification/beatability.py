@@ -143,6 +143,7 @@ def find_agreement_violation(
     uniform: bool = False,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> Optional[Tuple[int, Adversary]]:
     """Scan an adversary family for a (uniform) k-Agreement violation of ``protocol``.
 
@@ -152,30 +153,45 @@ def find_agreement_violation(
     :class:`repro.engine.SweepRunner` in bounded chunks, so the scan keeps
     the trie's sharing *and* the early exit; ``"reference"`` runs one oracle
     ``Run`` per adversary.
+
+    ``symmetry="quotient"`` deduplicates the stream to one first-seen member
+    per process-renaming orbit before scanning
+    (:func:`repro.symmetry.iter_orbit_representatives`, lazily — the early
+    exit is preserved).  A violation is constant on orbits, so the scan
+    verdict (found vs not found) is identical to the exhaustive one; the
+    returned index is the representative's position in the *original* stream
+    and the returned adversary is a true family member.
     """
     import itertools
 
     from ..engine import SweepRunner, validate_engine_choice
+    from ..symmetry import validate_symmetry_choice
 
     validate_engine_choice(engine, processes)
+    validate_symmetry_choice(symmetry)
     check = check_uniform_agreement if uniform else check_agreement
+    if symmetry == "quotient":
+        from ..symmetry import iter_orbit_representatives
+
+        indexed: Iterable[Tuple[int, Adversary]] = iter_orbit_representatives(adversaries)
+    else:
+        indexed = enumerate(adversaries)
     if engine == "reference":
-        for index, adversary in enumerate(adversaries):
+        for index, adversary in indexed:
             run = Run(protocol, adversary, t)
             if check(run, protocol.k):
                 return index, adversary
         return None
     runner = SweepRunner(protocol, t, processes=processes)
-    stream = iter(adversaries)
-    offset = 0
+    stream = iter(indexed)
     while True:
         chunk = list(itertools.islice(stream, _VIOLATION_SCAN_CHUNK))
         if not chunk:
             return None
-        for index, run in enumerate(runner.sweep(chunk)):
+        for (index, _adversary), run in zip(chunk, runner.sweep([a for _, a in chunk])):
             if check(run, protocol.k):
-                return offset + index, run.adversary
-        offset += len(chunk)
+                return index, run.adversary
+
 
 
 def demonstrate_unbeatability_mechanism(k: int, depth: int = 2, engine: str = "batch") -> dict:

@@ -14,6 +14,17 @@ Two execution engines are available (``engine=`` on every entry point):
   is the throughput path for exhaustive sweeps;
 * ``"reference"`` — one :class:`repro.model.run.Run` per adversary; the
   semantic oracle the batch engine is differentially tested against.
+
+Orthogonally, ``symmetry="quotient"`` quotients the family by process
+renaming before the sweep (:func:`repro.symmetry.quotient_family`): one
+representative per orbit is simulated and checked, and its outcome is folded
+into the report with the orbit size as weight.  Every recorded quantity —
+violation existence, the decision-time histogram, the maximum decision time —
+is constant on renaming orbits (decision times transport along the renaming,
+decision values are untouched), so the quotient report reproduces the
+exhaustive census exactly; ``tests/test_quotient_differential.py`` pins the
+identity.  Violations are reported once per orbit (the representative is the
+concrete counterexample; the rest of the orbit is its renamings).
 """
 
 from __future__ import annotations
@@ -44,18 +55,23 @@ class CheckReport:
         """Whether no violation was found."""
         return not self.violations
 
-    def record(self, index: int, run, run_violations: List[Violation]) -> None:
+    def record(self, index: int, run, run_violations: List[Violation], weight: int = 1) -> None:
         """Fold one run's outcome into the report.
 
         ``run`` may be a reference :class:`repro.model.run.Run` or a batch
         :class:`repro.engine.BatchRun`; only the shared read API is used.
+        ``weight`` is the orbit size of a quotient sweep's representative
+        (the number of family members sharing this outcome); violations stay
+        one entry per representative.
         """
-        self.runs_checked += 1
+        self.runs_checked += weight
         for violation in run_violations:
             self.violations.append((index, violation))
         last = run.last_decision_time(correct_only=True)
         if last is not None:
-            self.decision_time_histogram[last] = self.decision_time_histogram.get(last, 0) + 1
+            self.decision_time_histogram[last] = (
+                self.decision_time_histogram.get(last, 0) + weight
+            )
             self.max_decision_time = max(self.max_decision_time, last)
 
     def summary(self) -> str:
@@ -77,11 +93,25 @@ def check_protocol(
     enforce_paper_bound: bool = True,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> CheckReport:
-    """Run ``protocol`` against every adversary and check its specification."""
+    """Run ``protocol`` against every adversary and check its specification.
+
+    ``symmetry="quotient"`` checks one representative per process-renaming
+    orbit and weights its outcome by the orbit's member count; the report's
+    census fields equal the exhaustive ones (see the module docstring).
+    """
     from ..engine import SweepRunner, validate_engine_choice
+    from ..symmetry import validate_symmetry_choice
 
     validate_engine_choice(engine, processes)
+    validate_symmetry_choice(symmetry)
+    if symmetry == "quotient":
+        from ..symmetry import quotient_family
+
+        return _check_quotiented(
+            protocol, quotient_family(adversaries), t, enforce_paper_bound, engine, processes
+        )
     if engine == "reference":
         report = CheckReport(protocol=getattr(protocol, "name", "protocol"))
         for index, adversary in enumerate(adversaries):
@@ -92,6 +122,33 @@ def check_protocol(
     return runner.check(adversaries, enforce_paper_bound)
 
 
+def _check_quotiented(
+    protocol,
+    quotiented: Tuple[List[Adversary], List[int], List[int]],
+    t: int,
+    enforce_paper_bound: bool,
+    engine: str,
+    processes: Optional[int],
+) -> CheckReport:
+    """Fold one protocol's runs over pre-quotiented representatives.
+
+    Split out of :func:`check_protocol` so :func:`check_protocols` can
+    canonicalise the family once and reuse the quotient across protocols —
+    the canonical-form pass dominates the quotient sweep's cost on large
+    spaces, and it is protocol-independent.
+    """
+    from ..engine import runs_over_family
+
+    representatives, weights, first_indices = quotiented
+    report = CheckReport(protocol=getattr(protocol, "name", "protocol"))
+    runs = runs_over_family(protocol, representatives, t, engine, processes)
+    for run, weight, index in zip(runs, weights, first_indices):
+        report.record(
+            index, run, check_run_for_protocol(run, enforce_paper_bound), weight=weight
+        )
+    return report
+
+
 def check_protocols(
     protocols: Iterable,
     adversaries: List[Adversary],
@@ -99,11 +156,35 @@ def check_protocols(
     enforce_paper_bound: bool = True,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> Dict[str, CheckReport]:
-    """Check several protocols over the same adversary family."""
+    """Check several protocols over the same adversary family.
+
+    The quotient is computed once and shared across protocols (orbits do not
+    depend on the protocol under check).
+    """
+    if symmetry == "quotient":
+        from ..engine import validate_engine_choice
+        from ..symmetry import quotient_family, validate_symmetry_choice
+
+        validate_engine_choice(engine, processes)
+        validate_symmetry_choice(symmetry)
+        quotiented = quotient_family(adversaries)
+        return {
+            getattr(protocol, "name", repr(protocol)): _check_quotiented(
+                protocol, quotiented, t, enforce_paper_bound, engine, processes
+            )
+            for protocol in protocols
+        }
     return {
         getattr(protocol, "name", repr(protocol)): check_protocol(
-            protocol, adversaries, t, enforce_paper_bound, engine=engine, processes=processes
+            protocol,
+            adversaries,
+            t,
+            enforce_paper_bound,
+            engine=engine,
+            processes=processes,
+            symmetry=symmetry,
         )
         for protocol in protocols
     }
@@ -118,8 +199,15 @@ def exhaustive_context_check(
     limit: Optional[int] = None,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> CheckReport:
-    """Check a protocol over the (restricted) exhaustive adversary space of a context."""
+    """Check a protocol over the (restricted) exhaustive adversary space of a context.
+
+    With ``symmetry="quotient"`` the enumerated space is quotiented by
+    process renaming before the sweep; the restricted spaces are closed under
+    renaming for every restriction flag, so the report still accounts for the
+    full space (``runs_checked`` and the histogram are orbit-weighted).
+    """
     from ..adversaries.enumeration import enumerate_adversaries
 
     adversaries = enumerate_adversaries(
@@ -129,4 +217,6 @@ def exhaustive_context_check(
         max_failures=max_failures,
         limit=limit,
     )
-    return check_protocol(protocol, adversaries, context.t, engine=engine, processes=processes)
+    return check_protocol(
+        protocol, adversaries, context.t, engine=engine, processes=processes, symmetry=symmetry
+    )

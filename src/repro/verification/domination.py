@@ -26,6 +26,15 @@ Every comparison here is a family sweep, so all entry points take
 domination consumes), ``"reference"`` streams one oracle ``Run`` per
 adversary.  The dispatch itself is owned by
 :func:`repro.engine.runs_over_family`.
+
+``symmetry="quotient"`` additionally quotients the family by process
+renaming (:func:`repro.symmetry.quotient_family`) and compares only orbit
+representatives.  Because both protocols are symmetric, a per-process
+comparison on a renamed adversary is the renamed comparison — so the
+domination verdict, ``adversaries_checked`` and ``rounds_saved`` are
+orbit-weighted back to exact full-family figures, while the
+``counterexamples`` / ``improvements`` lists carry one exemplar entry per
+orbit (indexed by the representative's position in the input family).
 """
 
 from __future__ import annotations
@@ -105,10 +114,20 @@ class DominationReport:
 
 
 def compare_on_adversary(
-    candidate_run: Run, reference_run: Run, adversary_index: int, report: DominationReport
+    candidate_run: Run,
+    reference_run: Run,
+    adversary_index: int,
+    report: DominationReport,
+    weight: int = 1,
 ) -> None:
-    """Fold one adversary's decision times into a :class:`DominationReport`."""
-    report.adversaries_checked += 1
+    """Fold one adversary's decision times into a :class:`DominationReport`.
+
+    ``weight`` is the orbit size of a quotient comparison's representative:
+    the aggregate counters scale by it (every orbit member reproduces the
+    same per-process comparison up to renaming) while the exemplar lists gain
+    one entry regardless.
+    """
+    report.adversaries_checked += weight
     for process in range(reference_run.n):
         reference_time = reference_run.decision_time(process)
         if reference_time is None:
@@ -124,7 +143,7 @@ def compare_on_adversary(
             report.improvements.append(
                 (adversary_index, process, candidate_time, reference_time)
             )
-            report.rounds_saved += reference_time - candidate_time
+            report.rounds_saved += weight * (reference_time - candidate_time)
 
 
 def compare_protocols(
@@ -134,21 +153,24 @@ def compare_protocols(
     t: int,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> DominationReport:
     """Compare two protocols' decision times over a family of adversaries.
 
     Both protocols are executed against exactly the same adversaries (the
     definition of domination compares performance on the same behaviours of
-    the adversary).
+    the adversary).  ``symmetry="quotient"`` compares one representative per
+    renaming orbit and orbit-weights the aggregate counters (see the module
+    docstring).
     """
     report = DominationReport(
         candidate=getattr(candidate, "name", "candidate"),
         reference=getattr(reference, "name", "reference"),
     )
-    for index, (candidate_run, reference_run) in enumerate(
-        _run_pairs(candidate, reference, adversaries, t, engine, processes)
+    for index, weight, candidate_run, reference_run in _weighted_run_pairs(
+        candidate, reference, adversaries, t, engine, processes, symmetry
     ):
-        compare_on_adversary(candidate_run, reference_run, index, report)
+        compare_on_adversary(candidate_run, reference_run, index, report, weight=weight)
     return report
 
 
@@ -172,6 +194,36 @@ def _run_pairs(candidate, reference, adversaries, t, engine, processes):
     )
 
 
+def _weighted_run_pairs(candidate, reference, adversaries, t, engine, processes, symmetry):
+    """``(index, weight, candidate run, reference run)`` per compared adversary.
+
+    The symmetry dispatch shared by :func:`compare_protocols` and
+    :func:`last_decider_compare`: exhaustive comparisons stream every family
+    member with weight 1; quotient comparisons stream one representative per
+    renaming orbit, weighted by its member count and indexed by its original
+    family position.
+    """
+    from ..symmetry import validate_symmetry_choice
+
+    validate_symmetry_choice(symmetry)
+    if symmetry == "quotient":
+        from ..symmetry import quotient_family
+
+        representatives, weights, first_indices = quotient_family(adversaries)
+        pairs = _run_pairs(candidate, reference, representatives, t, engine, processes)
+        return (
+            (index, weight, candidate_run, reference_run)
+            for (index, weight, (candidate_run, reference_run)) in zip(
+                first_indices, weights, pairs
+            )
+        )
+    pairs = _run_pairs(candidate, reference, adversaries, t, engine, processes)
+    return (
+        (index, 1, candidate_run, reference_run)
+        for index, (candidate_run, reference_run) in enumerate(pairs)
+    )
+
+
 def last_decider_compare(
     candidate,
     reference,
@@ -179,16 +231,17 @@ def last_decider_compare(
     t: int,
     engine: str = "batch",
     processes: Optional[int] = None,
+    symmetry: str = "none",
 ) -> DominationReport:
     """Definition 6: compare only the time of the last (correct) decision per run."""
     report = DominationReport(
         candidate=f"{getattr(candidate, 'name', 'candidate')} [last-decider]",
         reference=f"{getattr(reference, 'name', 'reference')} [last-decider]",
     )
-    for index, (candidate_run, reference_run) in enumerate(
-        _run_pairs(candidate, reference, adversaries, t, engine, processes)
+    for index, weight, candidate_run, reference_run in _weighted_run_pairs(
+        candidate, reference, adversaries, t, engine, processes, symmetry
     ):
-        report.adversaries_checked += 1
+        report.adversaries_checked += weight
         reference_last = reference_run.last_decision_time(correct_only=True)
         candidate_last = candidate_run.last_decision_time(correct_only=True)
         if reference_last is None:
@@ -197,7 +250,7 @@ def last_decider_compare(
             report.counterexamples.append((index, -1, candidate_last, reference_last))
         elif candidate_last < reference_last:
             report.improvements.append((index, -1, candidate_last, reference_last))
-            report.rounds_saved += reference_last - candidate_last
+            report.rounds_saved += weight * (reference_last - candidate_last)
     return report
 
 

@@ -91,6 +91,22 @@ class TestSweepCommand:
         assert "refusing to enumerate" in out
         assert "--limit" in out
 
+    def test_quotient_sweep_reports_full_space(self, capsys):
+        # --symmetry quotient verifies one representative per renaming orbit
+        # but the report must still account for every enumerated adversary.
+        code = main(
+            ["sweep", "-n", "4", "-t", "2", "-k", "2",
+             "--max-crash-round", "2", "--limit", "1500", "--symmetry", "quotient"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK over 1500 runs" in out
+        assert "symmetry=quotient" in out
+
+    def test_unknown_symmetry_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--symmetry", "orbit"])
+
     def test_reference_engine_sweep(self, capsys):
         code = main(
             ["sweep", "-n", "3", "-t", "1", "-k", "1", "--protocol", "upmin",
@@ -113,6 +129,18 @@ class TestFigure4Command:
         assert "u-Pmin[k]" in out
         assert "time 2" in out
         assert "time 5" in out
+
+    def test_figure4_quotient_reproduces_times(self, capsys):
+        assert main(["figure4", "-k", "3", "--rounds", "4"]) == 0
+        exhaustive = capsys.readouterr().out
+        assert main(["figure4", "-k", "3", "--rounds", "4", "--symmetry", "quotient"]) == 0
+        quotient = capsys.readouterr().out
+        assert "canonical representative" in quotient
+        # Decision times are constant on renaming orbits: every protocol's
+        # reported last-decision time must match the exhaustive run.
+        for line in exhaustive.splitlines():
+            if "last correct decision" in line:
+                assert line in quotient
 
 
 class TestSurgeryCommand:

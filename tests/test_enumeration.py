@@ -118,6 +118,63 @@ class TestFailurePatterns:
             assert pattern.num_failures <= 2
 
 
+class TestCountingProperties:
+    """Property tests pinning the three counting surfaces to each other.
+
+    ``estimate_adversary_count`` (closed form), ``count_adversaries`` (direct
+    counting) and ``len(list(enumerate_adversaries(...)))`` (materialised
+    stream) must agree exactly for every receiver policy and restriction —
+    the closed form is what the CLI's tractability refusal trusts, and the
+    orbit layer's ``sum(sizes)`` bookkeeping is checked against the same
+    count in ``tests/test_symmetry.py``.
+    """
+
+    @pytest.mark.parametrize("policy", ["none", "canonical", "all"])
+    @pytest.mark.parametrize("max_failures", [None, 0, 1])
+    def test_count_equals_materialised_stream(self, policy, max_failures):
+        context = Context(n=3, t=2, k=1, max_value=1)
+        materialised = list(
+            enumerate_adversaries(
+                context, max_crash_round=2, receiver_policy=policy, max_failures=max_failures
+            )
+        )
+        assert (
+            count_adversaries(
+                context, max_crash_round=2, receiver_policy=policy, max_failures=max_failures
+            )
+            == len(materialised)
+        )
+        assert (
+            estimate_adversary_count(
+                context, max_crash_round=2, receiver_policy=policy, max_failures=max_failures
+            )
+            == len(materialised)
+        )
+        assert len(set(materialised)) == len(materialised)
+
+    @pytest.mark.parametrize("policy", ["none", "canonical", "all"])
+    def test_exactness_on_wider_domain(self, policy):
+        context = Context(n=3, t=1, k=2)
+        assert estimate_adversary_count(
+            context, max_crash_round=1, receiver_policy=policy
+        ) == count_adversaries(context, max_crash_round=1, receiver_policy=policy)
+
+    @pytest.mark.parametrize("policy", ["none", "canonical", "all"])
+    def test_n2_space_has_no_duplicates(self, policy):
+        # Regression: at n=2 the canonical policy used to yield the lone
+        # singleton receiver set twice (once as singleton, once as the full
+        # set), duplicating every crashing adversary of the "exhaustive"
+        # space and breaking the orbit partition sum(sizes) == count.
+        context = Context(n=2, t=1, k=1, max_value=1)
+        adversaries = list(
+            enumerate_adversaries(context, max_crash_round=1, receiver_policy=policy)
+        )
+        assert len(set(adversaries)) == len(adversaries)
+        assert estimate_adversary_count(
+            context, max_crash_round=1, receiver_policy=policy
+        ) == len(adversaries)
+
+
 class TestAdversaries:
     def test_product_structure(self):
         context = Context(n=3, t=1, k=1, max_value=1)

@@ -164,6 +164,47 @@ class TestParallelExecutor:
         assert pickle.loads(pickle.dumps(payload)) == payload
 
 
+class TestChunkAutoTune:
+    """The auto-tuned chunk planner: sizing from the input count, serial
+    fallback when the family cannot amortise a worker pool."""
+
+    def test_small_families_fall_back_to_serial(self, family):
+        from repro.engine.fused import MIN_CHUNK_INPUTS, _plan_chunks
+
+        assert len(family) < MIN_CHUNK_INPUTS
+        assert _plan_chunks(len(family), 4, None) is None
+        # Observable end to end: a sharded request on a small family runs on
+        # the in-process core (the parent's pass counter ticks; worker
+        # processes would count their own).
+        before = PrefixScheduler.passes_started
+        runner = SweepRunner(OptMin(2), CONTEXT.t, processes=4)
+        runner.sweep(family)
+        assert PrefixScheduler.passes_started - before == 1
+
+    def test_auto_sizing_respects_floor_and_worker_count(self):
+        from repro.engine.fused import MIN_CHUNK_INPUTS, _plan_chunks
+
+        # Large family, few workers: two chunks per worker.
+        ranges = _plan_chunks(8 * MIN_CHUNK_INPUTS, 4, None)
+        assert len(ranges) == 8
+        assert ranges[0] == (0, MIN_CHUNK_INPUTS)
+        # Barely above the floor: the 1-adversary tail folds into its
+        # neighbour, leaving one chunk — which means serial, no pool.
+        assert _plan_chunks(MIN_CHUNK_INPUTS + 1, 4, None) is None
+        # A remainder at or above the floor stays its own chunk.
+        ranges = _plan_chunks(3 * MIN_CHUNK_INPUTS, 1, None)
+        assert ranges is not None
+        assert ranges[-1][1] == 3 * MIN_CHUNK_INPUTS
+        assert all(end - start >= MIN_CHUNK_INPUTS for start, end in ranges)
+
+    def test_explicit_chunk_size_opts_out(self, family):
+        from repro.engine.fused import _plan_chunks
+
+        # The chunk-boundary identity tests rely on exact small slices.
+        ranges = _plan_chunks(len(family), 2, 7)
+        assert ranges is not None and ranges[0] == (0, 7)
+
+
 class TestStructViewKey:
     def test_matches_oracle_view_key(self):
         """struct_view_key over the layer chain == view_key over oracle views,
