@@ -22,6 +22,11 @@ quotient-vs-exhaustive identity is gated by
 ``benchmarks/bench_symmetry_quotient.py`` and pinned by
 ``tests/test_quotient_differential.py``; wall times per case are recorded to
 ``BENCH_prop2_connectivity.json``.
+
+Homology runs on the word-packed backend (``backend="packed"`` — the
+post-PR6 default); on the flagship n=6, k=2, m=2 case the benchmark
+re-runs the census on the retained ``bigint`` oracle and asserts the two
+rows byte-identical (the packed-kernel acceptance identity).
 """
 
 from __future__ import annotations
@@ -67,8 +72,17 @@ def run_survey():
         )
         build_seconds = wall.perf_counter() - start
         start = wall.perf_counter()
-        census = capacity_connectivity_census(pc, k, symmetry="quotient")
+        census = capacity_connectivity_census(pc, k, symmetry="quotient", backend="packed")
         survey_seconds = wall.perf_counter() - start
+        if (n, k, time) == (6, 2, 2):
+            # The packed-kernel acceptance identity: the packed backend must
+            # reproduce the bigint oracle's census row byte-for-byte on the
+            # flagship n=6, k=2, m=2 survey.
+            oracle = capacity_connectivity_census(
+                pc, k, symmetry="quotient", backend="bigint"
+            )
+            assert census.row == oracle.row, (census.row, oracle.row)
+            assert census.classes == oracle.classes
         rows.append((n, k, time) + census.row)
         timings.append(
             (n, k, time, census.vertices, census.classes, build_seconds, survey_seconds)
@@ -100,6 +114,7 @@ def test_prop2_capacity_implies_connectivity(benchmark):
         {
             "processes": PROCESSES or 1,
             "symmetry": "quotient",
+            "backend": "packed",
             "results": [
                 {
                     "n": n,

@@ -1,29 +1,30 @@
-"""STARCONN — engineering benchmark: sparse vs dense per-star connectivity.
+"""STARCONN — engineering benchmark: per-star connectivity across homology backends.
 
 The Proposition 2 surveys probe ``connectivity_profile(star, max_q=k-1)`` on
-the star complex of **every** vertex of a protocol complex.  The seed
-homology path materialised the star's entire face lattice as frozensets and
-recomputed the Betti numbers from scratch for every probed ``q``; the sparse
-bitset kernel streams chain groups only up to dimension ``q+1`` (as integer
-bit combinations, deduplicated across facets), reuses each boundary rank as
-the next dimension's down-rank, and exits at the first non-vanishing Betti
-number.
+the star complex of **every** vertex of a protocol complex.  Three backends
+answer the same question:
 
-This benchmark runs the full per-star sweep on both paths — the sparse
-kernel (:func:`repro.topology.connectivity_profile`) and the retained seed
-algorithm (:func:`repro.topology.dense_connectivity_profile`) — over two
-star families:
+* ``packed`` — the word-packed GF(2) kernel of :mod:`repro.topology.gf2`
+  plus its structural shortcuts.  Star complexes are cones (the star's
+  vertex is in every facet), so the survey's hot path is the O(facets)
+  cone test on the global facet masks — no re-basing, no chain groups, no
+  elimination;
+* ``bigint`` — the previous sparse kernel: big-int chain-group masks,
+  dict-pivot elimination, rank reuse (this PR's predecessor and first
+  oracle);
+* ``dense`` — the seed algorithm: full face-lattice enumeration over
+  frozensets, one complete Betti recomputation per probed ``q``.
 
-* the exhaustive n=4, t=2 restricted family at m=2 (the differential-test
-  family of ``tests/test_homology_differential.py``);
-* the n=6 one-round family, whose stars are wide enough that the dense
-  path's full-lattice enumeration dominates.
+The benchmark sweeps every star of two families on all three backends,
+asserts the profiles identical, and gates **packed >= 3x over bigint** (the
+acceptance criterion of the packed-kernel port; the old bigint-vs-dense
+ratio is reported alongside).  Wall-clock ratios are noisy on shared
+runners, so CI lowers the gate via ``STAR_CONNECTIVITY_MIN_SPEEDUP`` while
+local/acceptance runs keep the 3x target.
 
-The two sweeps must produce identical connectivity profiles — asserted
-unconditionally — and the sparse sweep must be at least 3x faster (the
-acceptance criterion of the kernel port).  Wall-clock ratios are noisy on
-shared runners, so CI lowers the gate via ``STAR_CONNECTIVITY_MIN_SPEEDUP``
-while local/acceptance runs keep the 3x target.
+A second, ungated section reports the backends on *non-cone* spaces (whole
+protocol complexes and spheres), where the packed path has no shortcut and
+must run its packed elimination — the honest "no structural gift" number.
 """
 
 from __future__ import annotations
@@ -37,7 +38,8 @@ from repro.model import Context
 from repro.topology import (
     build_restricted_complex,
     connectivity_profile,
-    dense_connectivity_profile,
+    reduced_betti_numbers,
+    sphere_complex,
 )
 
 from conftest import print_table, record_benchmark
@@ -46,45 +48,95 @@ from conftest import print_table, record_benchmark
 CASES = [
     # (n, t, k, time); the first case is exactly the differential-test family
     # of tests/test_homology_differential.py, the second the n=6 one-round
-    # family with the usual t = n - 1.
+    # family with the usual t = n - 1.  Both gate packed >= 3x over bigint.
     (4, 2, 2, 2),
     (6, 5, 2, 1),
 ]
 MIN_SPEEDUP = float(os.environ.get("STAR_CONNECTIVITY_MIN_SPEEDUP", "3.0"))
 
+BACKENDS = ("packed", "bigint", "dense")
+
 
 def run_sweeps():
-    """(n, k, m, stars, sparse seconds, dense seconds) per case."""
+    """Per case: star count plus the per-backend sweep seconds."""
     rows = []
     for n, t, k, m in CASES:
         context = Context(n=n, t=t, k=k)
         pc = build_restricted_complex(context, time=m, max_crashes_per_round=k)
         stars = [pc.complex.star(vertex) for vertex in pc.complex.vertices]
 
-        start = time.perf_counter()
-        sparse = [connectivity_profile(star, max_q=k - 1) for star in stars]
-        sparse_seconds = time.perf_counter() - start
+        profiles = {}
+        seconds = {}
+        for backend in BACKENDS:
+            start = time.perf_counter()
+            profiles[backend] = [
+                connectivity_profile(star, max_q=k - 1, backend=backend)
+                for star in stars
+            ]
+            seconds[backend] = time.perf_counter() - start
 
-        start = time.perf_counter()
-        dense = [dense_connectivity_profile(star, max_q=k - 1) for star in stars]
-        dense_seconds = time.perf_counter() - start
-
-        # The differential contract, embedded in the benchmark: the kernels
+        # The differential contract, embedded in the benchmark: the backends
         # must agree on every star of the sweep.
-        assert sparse == dense
-        rows.append((n, k, m, len(stars), sparse_seconds, dense_seconds))
+        assert profiles["packed"] == profiles["bigint"] == profiles["dense"]
+        rows.append((n, k, m, len(stars), seconds))
+    return rows
+
+
+def run_noncone_section():
+    """Whole complexes and spheres: no cone apex, real packed elimination."""
+    spaces = [
+        ("P(n=4,m=2)", build_restricted_complex(Context(n=4, t=2, k=2), time=2).complex),
+        ("S^3", sphere_complex(3)),
+        ("S^4", sphere_complex(4)),
+    ]
+    rows = []
+    for label, complex_ in spaces:
+        betti = {}
+        seconds = {}
+        for backend in ("packed", "bigint"):
+            start = time.perf_counter()
+            betti[backend] = reduced_betti_numbers(complex_, backend=backend)
+            seconds[backend] = time.perf_counter() - start
+        assert betti["packed"] == betti["bigint"]
+        rows.append((label, complex_.vertex_count, seconds))
     return rows
 
 
 @pytest.mark.benchmark(group="star-connectivity")
-def test_sparse_star_connectivity_speedup(benchmark):
-    rows = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+def test_packed_star_connectivity_speedup(benchmark):
+    rows, noncone = benchmark.pedantic(
+        lambda: (run_sweeps(), run_noncone_section()), rounds=1, iterations=1
+    )
     print_table(
-        "STARCONN — per-star connectivity_profile sweep, sparse kernel vs dense path",
-        ["n", "k", "m", "stars", "sparse s", "dense s", "speedup"],
+        "STARCONN — per-star connectivity_profile sweep: packed vs bigint vs dense",
+        ["n", "k", "m", "stars", "packed s", "bigint s", "dense s", "vs bigint", "vs dense"],
         [
-            (n, k, m, stars, f"{sparse:.3f}", f"{dense:.3f}", f"{dense / sparse:.1f}x")
-            for n, k, m, stars, sparse, dense in rows
+            (
+                n,
+                k,
+                m,
+                stars,
+                f"{s['packed']:.4f}",
+                f"{s['bigint']:.4f}",
+                f"{s['dense']:.4f}",
+                f"{s['bigint'] / s['packed']:.1f}x",
+                f"{s['dense'] / s['packed']:.1f}x",
+            )
+            for n, k, m, stars, s in rows
+        ],
+    )
+    print_table(
+        "STARCONN — non-cone spaces (full Betti, no shortcut): packed vs bigint",
+        ["space", "|V|", "packed s", "bigint s", "ratio"],
+        [
+            (
+                label,
+                vertices,
+                f"{s['packed']:.4f}",
+                f"{s['bigint']:.4f}",
+                f"{s['bigint'] / s['packed']:.2f}x",
+            )
+            for label, vertices, s in noncone
         ],
     )
     record_benchmark(
@@ -97,16 +149,27 @@ def test_sparse_star_connectivity_speedup(benchmark):
                     "k": k,
                     "m": m,
                     "stars": stars,
-                    "sparse_seconds": sparse,
-                    "dense_seconds": dense,
-                    "speedup": dense / sparse,
+                    "packed_seconds": s["packed"],
+                    "bigint_seconds": s["bigint"],
+                    "dense_seconds": s["dense"],
+                    "speedup": s["bigint"] / s["packed"],
+                    "speedup_vs_dense": s["dense"] / s["packed"],
                 }
-                for n, k, m, stars, sparse, dense in rows
+                for n, k, m, stars, s in rows
+            ],
+            "noncone": [
+                {
+                    "space": label,
+                    "vertices": vertices,
+                    "packed_seconds": s["packed"],
+                    "bigint_seconds": s["bigint"],
+                }
+                for label, vertices, s in noncone
             ],
         },
     )
-    for n, k, m, _stars, sparse_seconds, dense_seconds in rows:
-        assert dense_seconds >= MIN_SPEEDUP * sparse_seconds, (
-            f"n={n}, k={k}, m={m}: sparse star sweep fell below {MIN_SPEEDUP}x "
-            f"(dense {dense_seconds:.3f}s vs sparse {sparse_seconds:.3f}s)"
+    for n, k, m, _stars, s in rows:
+        assert s["bigint"] >= MIN_SPEEDUP * s["packed"], (
+            f"n={n}, k={k}, m={m}: packed star sweep fell below {MIN_SPEEDUP}x over "
+            f"bigint (bigint {s['bigint']:.4f}s vs packed {s['packed']:.4f}s)"
         )

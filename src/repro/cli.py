@@ -14,7 +14,11 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
 * ``figure4``  — regenerate the paper's headline uniform-consensus comparison
   for a chosen ``k`` and ``⌊t/k⌋``;
 * ``surgery``  — apply the Lemma 2 surgery on the Fig. 2 adversary and print
-  the verification outcome and the Lemma 3 confrontation.
+  the verification outcome and the Lemma 3 confrontation;
+* ``census``   — the Proposition 2 capacity-vs-connectivity census over the
+  restricted protocol complex, with ``--backend`` selecting the homology
+  backend (``packed`` kernel or the ``bigint`` / ``dense`` oracles) and
+  ``--symmetry quotient`` collapsing the survey to canonical vertex classes.
 
 The CLI is a thin veneer over the library; every command prints exactly what
 the corresponding example/benchmark computes.
@@ -279,6 +283,55 @@ def cmd_surgery(args: argparse.Namespace) -> int:
     return 0 if check.ok else 1
 
 
+def cmd_census(args: argparse.Namespace) -> int:
+    from .engine import validate_engine_choice
+    from .topology import (
+        DEFAULT_HOMOLOGY_BACKEND,
+        build_restricted_complex,
+        capacity_connectivity_census,
+    )
+
+    try:
+        validate_engine_choice(args.engine, args.processes)
+    except ValueError as error:
+        print(error)
+        return 2
+    backend = args.backend if args.backend is not None else DEFAULT_HOMOLOGY_BACKEND
+    context = Context(n=args.n, t=args.t, k=args.k)
+    build_start = time.perf_counter()
+    pc = build_restricted_complex(
+        context, time=args.time, engine=args.engine, processes=args.processes
+    )
+    build_elapsed = time.perf_counter() - build_start
+    survey_start = time.perf_counter()
+    census = capacity_connectivity_census(
+        pc, context.k, symmetry=args.symmetry, backend=backend
+    )
+    survey_elapsed = time.perf_counter() - survey_start
+    complex_ = pc.complex
+    print(
+        f"Proposition 2 census over n={args.n}, t={args.t}, k={args.k}, m={args.time} "
+        f"(backend={backend}, symmetry={args.symmetry})"
+    )
+    print(
+        f"  complex: {complex_.vertex_count} vertices, "
+        f"{len(complex_.facet_masks)} facets, dim {complex_.dimension} "
+        f"(built in {build_elapsed:.2f}s, engine={args.engine})"
+    )
+    print(f"  vertices             : {census.vertices}")
+    print(f"  capacity >= k        : {census.high_capacity}")
+    print(f"  ... with (k-1)-conn. : {census.consistent}")
+    print(f"  (k-1)-connected stars: {census.connected_stars}")
+    print(f"  ... with capacity>=k : {census.connected_high}")
+    print(
+        f"  survey: {census.classes} classes, {census.homology_runs} homology "
+        f"runs in {survey_elapsed:.2f}s"
+    )
+    holds = census.consistent == census.high_capacity
+    print(f"  Proposition 2 (capacity >= k ⇒ (k-1)-connected star): {'OK' if holds else 'VIOLATED'}")
+    return 0 if holds else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-set-consensus",
@@ -364,6 +417,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default=ENGINES[0], choices=list(ENGINES), help="execution engine"
     )
     surgery_parser.set_defaults(func=cmd_surgery)
+
+    census_parser = subparsers.add_parser(
+        "census", help="Proposition 2 capacity-vs-connectivity census"
+    )
+    census_parser.add_argument("-n", type=int, default=4, help="number of processes (default 4)")
+    census_parser.add_argument("-t", type=int, default=2, help="crash bound (default 2)")
+    census_parser.add_argument("-k", type=int, default=2, help="agreement parameter (default 2)")
+    census_parser.add_argument(
+        "-m", "--time", type=int, default=1, help="protocol-complex round count (default 1)"
+    )
+    census_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["packed", "bigint", "dense"],
+        help="homology backend (default: the packed kernel; bigint/dense are "
+        "the retained oracles)",
+    )
+    census_parser.add_argument(
+        "--engine", default=ENGINES[0], choices=list(ENGINES), help="complex-builder engine"
+    )
+    census_parser.add_argument(
+        "--processes",
+        type=_worker_count,
+        default=None,
+        help="multiprocessing workers, >= 1 (batch engine only)",
+    )
+    _add_symmetry_argument(census_parser)
+    census_parser.set_defaults(func=cmd_census)
 
     return parser
 

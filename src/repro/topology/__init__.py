@@ -9,10 +9,14 @@ from .complexes import (
     VertexPool,
     boundary_of_simplex,
     full_simplex,
+    klein_bottle_complex,
+    projective_plane_complex,
     simplex,
     sphere_complex,
 )
 from .connectivity import (
+    DEFAULT_HOMOLOGY_BACKEND,
+    HOMOLOGY_BACKENDS,
     ConnectivityCache,
     connectivity_profile,
     dense_connectivity_profile,
@@ -21,7 +25,9 @@ from .connectivity import (
     is_homologically_q_connected,
     reduced_betti_numbers,
     simplices_by_dimension,
+    validate_homology_backend,
 )
+from .gf2 import GF2Matrix, available_backends as available_gf2_backends
 from .protocol_complex import (
     CapacityCensus,
     ProtocolComplex,
@@ -50,10 +56,14 @@ from .subdivision import (
 __all__ = [
     "CapacityCensus",
     "ConnectivityCache",
+    "DEFAULT_HOMOLOGY_BACKEND",
+    "GF2Matrix",
+    "HOMOLOGY_BACKENDS",
     "ProtocolComplex",
     "SimplicialComplex",
     "SubdividedSimplex",
     "VertexPool",
+    "available_gf2_backends",
     "barycentric_subdivision",
     "boundary_of_simplex",
     "build_protocol_complex",
@@ -71,13 +81,16 @@ __all__ = [
     "fully_colored_simplices",
     "is_homologically_q_connected",
     "is_sperner_coloring",
+    "klein_bottle_complex",
     "paper_subdivision",
     "per_round_crash_patterns",
+    "projective_plane_complex",
     "random_sperner_coloring",
     "reduced_betti_numbers",
     "simplex",
     "simplices_by_dimension",
     "sperner_lemma_holds",
+    "validate_homology_backend",
     "vertex_capacity",
     "sphere_complex",
 ]

@@ -26,11 +26,35 @@ of :mod:`repro.topology.complexes`:
   first non-vanishing Betti number; the rank of ``∂_{q+1}`` is reused as the
   down-rank of dimension ``q + 1`` instead of being recomputed.
 
-The seed's dense algorithm (full face-lattice enumeration over frozensets,
-one complete Betti recomputation per probed ``q``) is retained verbatim as
-:func:`dense_reduced_betti_numbers` / :func:`dense_connectivity_profile` —
-the differential-testing oracle for the sparse kernel and the baseline the
-``bench_star_connectivity`` benchmark measures against.
+Three interchangeable homology backends sit behind a ``backend`` knob on
+:func:`reduced_betti_numbers` / :func:`connectivity_profile` /
+:func:`is_homologically_q_connected` / :class:`ConnectivityCache` (and,
+threaded through, on :func:`repro.topology.capacity_connectivity_census`
+and the CLI's ``census`` subcommand):
+
+* ``"packed"`` (the default) — the word-packed pipeline built on
+  :mod:`repro.topology.gf2`.  Boundary matrices are assembled straight from
+  the facet bitmasks into packed rows (no per-simplex Python objects) and
+  eliminated by the backend-dispatched rank kernel; on top of that sit two
+  structural shortcuts that bypass elimination entirely where the survey
+  workload lives: a **cone test** (a vertex common to every facet makes the
+  complex a cone, hence contractible — *every* star complex is such a cone
+  with its own apex, so the Proposition 2 surveys answer in O(facets) per
+  star), and a **union-find pass** over the facet masks that yields
+  ``b̃_0 = c - 1`` and ``rank ∂_1 = |V| - c`` without enumerating a single
+  edge row.
+* ``"bigint"`` — the previous sparse kernel (big-int rows, dict-pivot
+  elimination), retained verbatim as the first differential oracle.
+* ``"dense"`` — the seed's dense algorithm (full face-lattice enumeration
+  over frozensets, one complete Betti recomputation per probed ``q``),
+  retained verbatim as :func:`dense_reduced_betti_numbers` /
+  :func:`dense_connectivity_profile` — the second oracle and the baseline
+  ``bench_star_connectivity`` measures against.
+
+All three are observationally identical — pinned on golden spaces and the
+randomized differential battery (``tests/test_homology_fuzz.py``), on the
+exhaustive n=4, t=2 star family (``tests/test_homology_differential.py``)
+and byte-identically on census rows (``benchmarks/bench_prop2_connectivity``).
 
 Homology is additionally invariant under vertex relabelling, and survey
 consumers probe families of pairwise-isomorphic stars;
@@ -58,6 +82,22 @@ import itertools
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from .complexes import SimplicialComplex, Simplex, iter_bits
+from .gf2 import boundary_rank as _packed_boundary_rank
+
+#: The interchangeable homology backends (see the module docstring).
+HOMOLOGY_BACKENDS: Tuple[str, ...] = ("packed", "bigint", "dense")
+
+#: The backend consumers get when they do not ask for one.
+DEFAULT_HOMOLOGY_BACKEND = "packed"
+
+
+def validate_homology_backend(backend: str) -> None:
+    """Raise ``ValueError`` unless ``backend`` names a homology backend."""
+    if backend not in HOMOLOGY_BACKENDS:
+        raise ValueError(
+            f"unknown homology backend {backend!r}: expected one of "
+            f"{', '.join(HOMOLOGY_BACKENDS)}"
+        )
 
 
 def _gf2_rank(rows: List[int]) -> int:
@@ -177,6 +217,107 @@ def _betti_stream(complex_: SimplicialComplex, top: int) -> Iterator[int]:
         rank_down = rank_up
 
 
+# --------------------------------------------------------------- packed kernel
+def _facet_component_count(facet_masks: Sequence[int]) -> int:
+    """Number of connected components, by union-find over the facet bit lists.
+
+    Every facet is itself connected, so unioning each facet's vertices
+    (first bit with the rest) computes the components of the whole complex
+    without enumerating a single edge — the packed pipeline reads
+    ``b̃_0 = c - 1`` and ``rank ∂_1 = |V| - c`` straight off the count.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    components = 0
+    for mask in facet_masks:
+        anchor = -1
+        for vid in iter_bits(mask):
+            if vid not in parent:
+                parent[vid] = vid
+                components += 1
+            root = find(vid)
+            if anchor < 0:
+                anchor = root
+            elif root != anchor:
+                parent[root] = anchor
+                components -= 1
+    return components
+
+
+def _common_apex(facet_masks: Sequence[int]) -> int:
+    """The bitset of vertices shared by *every* facet (0 when there is none).
+
+    Non-zero means the complex is a cone: for any apex ``v`` in the
+    intersection, each simplex ``s`` lies in a facet containing ``v``, so
+    ``s ∪ {v}`` is a simplex too.  Cones are contractible — all reduced
+    homology vanishes — which settles every Betti and profile question in
+    O(facets) bit-ANDs.  Star complexes are always cones (their own vertex
+    is in every facet), so this is the path the Proposition 2 surveys take.
+    """
+    if not facet_masks:
+        return 0
+    apex = -1
+    for mask in facet_masks:
+        apex &= mask
+        if not apex:
+            return 0
+    return apex
+
+
+def _packed_betti_stream(complex_: SimplicialComplex, top: int) -> Iterator[int]:
+    """The packed backend's lazy Betti stream (same contract as :func:`_betti_stream`).
+
+    Structural shortcuts first — the cone test answers contractible
+    complexes outright, and union-find over the facet masks settles
+    dimension 0 (``b̃_0 = c - 1``) while seeding ``rank ∂_1 = |V| - c`` as
+    the first reused down-rank.  Higher boundary ranks are computed by
+    :func:`repro.topology.gf2.boundary_rank` on word-packed rows assembled
+    directly from the dimension's bit-combination masks, with each basis's
+    position index built once and shared between its upper and lower roles.
+    """
+    # The cone test runs on the *global* facet masks: re-basing is monotone,
+    # so a common apex exists locally iff it exists globally — and a star
+    # complex (every facet contains the star's vertex) answers here without
+    # paying the local re-basing pass at all.
+    if _common_apex(complex_.facet_masks):
+        for _ in range(top + 1):
+            yield 0
+        return
+    facet_masks, _ = _local_facets(complex_)
+    components = _facet_component_count(facet_masks)
+    yield components - 1
+    if top == 0:
+        return
+    dimension = complex_.dimension
+    rank_down = complex_.vertex_count - components  # rank ∂_1, by union-find
+    current = _masks_at_dimension(facet_masks, 1)
+    index = {mask: position for position, mask in enumerate(current)}
+    for q in range(1, top + 1):
+        above = _masks_at_dimension(facet_masks, q + 1) if q < dimension else []
+        rank_up = _packed_boundary_rank(current, above, position_of=index)
+        yield len(current) - rank_down - rank_up
+        current = above
+        index = {mask: position for position, mask in enumerate(above)}
+        rank_down = rank_up
+
+
+def _betti_stream_for(
+    complex_: SimplicialComplex, top: int, backend: str
+) -> Iterator[int]:
+    """The chosen backend's Betti stream (``dense`` has no stream — see callers)."""
+    if backend == "packed":
+        return _packed_betti_stream(complex_, top)
+    return _betti_stream(complex_, top)
+
+
 def simplices_by_dimension(complex_: SimplicialComplex) -> Dict[int, List[Simplex]]:
     """All simplexes of the complex grouped (and deterministically ordered) by dimension.
 
@@ -196,22 +337,33 @@ def simplices_by_dimension(complex_: SimplicialComplex) -> Dict[int, List[Simple
     return grouped
 
 
-def reduced_betti_numbers(complex_: SimplicialComplex, max_dimension: int | None = None) -> List[int]:
+def reduced_betti_numbers(
+    complex_: SimplicialComplex,
+    max_dimension: int | None = None,
+    backend: str = DEFAULT_HOMOLOGY_BACKEND,
+) -> List[int]:
     """Reduced GF(2) Betti numbers ``b̃_0 .. b̃_D`` of the complex.
 
     ``D`` defaults to the complex's dimension.  The empty complex has no
     Betti numbers (an empty list is returned).  With ``max_dimension = q``
     only the skeleton up to dimension ``q + 1`` is ever enumerated.
+    ``backend`` selects the homology backend (see the module docstring);
+    all three return identical lists.
     """
+    validate_homology_backend(backend)
+    if backend == "dense":
+        return dense_reduced_betti_numbers(complex_, max_dimension=max_dimension)
     if complex_.is_empty():
         return []
     top = complex_.dimension if max_dimension is None else min(max_dimension, complex_.dimension)
     if top < 0:
         return []
-    return list(_betti_stream(complex_, top))
+    return list(_betti_stream_for(complex_, top, backend))
 
 
-def is_homologically_q_connected(complex_: SimplicialComplex, q: int) -> bool:
+def is_homologically_q_connected(
+    complex_: SimplicialComplex, q: int, backend: str = DEFAULT_HOMOLOGY_BACKEND
+) -> bool:
     """The homological proxy for ``q``-connectivity.
 
     ``True`` iff the complex is non-empty and its reduced GF(2) homology
@@ -219,29 +371,39 @@ def is_homologically_q_connected(complex_: SimplicialComplex, q: int) -> bool:
     non-emptiness (the usual convention); for ``q = 0`` it coincides with
     path-connectedness.
     """
+    validate_homology_backend(backend)
     if complex_.is_empty():
         return False
     if q < 0:
         return True
-    return connectivity_profile(complex_, max_q=q) >= q
+    return connectivity_profile(complex_, max_q=q, backend=backend) >= q
 
 
-def connectivity_profile(complex_: SimplicialComplex, max_q: int | None = None) -> int:
+def connectivity_profile(
+    complex_: SimplicialComplex,
+    max_q: int | None = None,
+    backend: str = DEFAULT_HOMOLOGY_BACKEND,
+) -> int:
     """The largest ``q`` (up to ``max_q``) for which the homological proxy holds.
 
     Returns ``-2`` for the empty complex, ``-1`` for a non-empty but
     disconnected complex, and otherwise the largest ``q`` with vanishing
     reduced homology through dimension ``q``.  The Betti stream is consumed
     incrementally and abandoned at the first non-vanishing dimension, so a
-    ``max_q = k - 1`` star survey pays for the ``k``-skeleton only.
+    ``max_q = k - 1`` star survey pays for the ``k``-skeleton only — and on
+    the packed backend a star complex (always a cone) pays only the O(facets)
+    cone test.  All backends return identical profiles.
     """
+    validate_homology_backend(backend)
+    if backend == "dense":
+        return dense_connectivity_profile(complex_, max_q=max_q)
     if complex_.is_empty():
         return -2
     limit = complex_.dimension if max_q is None else max_q
     if limit < 0:
         return -1
     top = min(limit, complex_.dimension)
-    for q, betti in enumerate(_betti_stream(complex_, top)):
+    for q, betti in enumerate(_betti_stream_for(complex_, top, backend)):
         if betti != 0:
             return q - 1
     # Dimensions above the complex's own dimension contribute nothing, so a
@@ -275,13 +437,19 @@ class ConnectivityCache:
     ``max_q`` is part of the key: a profile truncated at ``k - 1`` says
     nothing about higher dimensions.  ``hits`` / ``misses`` expose the
     collapse factor for benchmarks.
+
+    ``backend`` selects the homology backend misses are computed with; since
+    the backends are observationally identical, it does not enter the cache
+    key — it only decides what a miss costs.
     """
 
-    __slots__ = ("_profiles", "_signature", "hits", "misses")
+    __slots__ = ("_profiles", "_signature", "backend", "hits", "misses")
 
-    def __init__(self, signature=None) -> None:
+    def __init__(self, signature=None, backend: str = DEFAULT_HOMOLOGY_BACKEND) -> None:
+        validate_homology_backend(backend)
         self._profiles: Dict[Tuple, int] = {}
         self._signature = signature
+        self.backend = backend
         self.hits = 0
         self.misses = 0
 
@@ -301,7 +469,7 @@ class ConnectivityCache:
             self.hits += 1
             return cached
         self.misses += 1
-        level = connectivity_profile(complex_, max_q=max_q)
+        level = connectivity_profile(complex_, max_q=max_q, backend=self.backend)
         self._profiles[key] = level
         return level
 

@@ -136,11 +136,19 @@ class CapacityCensus:
 
 
 def capacity_connectivity_census(
-    pc: ProtocolComplex, k: int, symmetry: str = "none"
+    pc: ProtocolComplex,
+    k: int,
+    symmetry: str = "none",
+    backend: Optional[str] = None,
 ) -> CapacityCensus:
     """Cross-tabulate hidden capacity against star ``(k-1)``-connectivity.
 
-    The Proposition 2 survey over a protocol complex.  ``symmetry="none"``
+    The Proposition 2 survey over a protocol complex.  ``backend`` selects
+    the homology backend every star profile is computed with
+    (``"packed"`` / ``"bigint"`` / ``"dense"``, default the package default:
+    the packed kernel) — the census counts are backend-independent
+    (``benchmarks/bench_prop2_connectivity.py`` pins packed == bigint rows
+    byte-for-byte at survey scale).  ``symmetry="none"``
     probes every vertex's star (the exhaustive path).  ``symmetry="quotient"``
     groups the vertices by their canonical view-key class
     (:func:`repro.symmetry.canonical_view_key` — exact orbit ids, valid
@@ -164,8 +172,12 @@ def capacity_connectivity_census(
     is why closure remains a documented requirement.
     """
     from ..symmetry import canonical_view_key, validate_symmetry_choice
+    from .connectivity import DEFAULT_HOMOLOGY_BACKEND, validate_homology_backend
 
     validate_symmetry_choice(symmetry)
+    if backend is None:
+        backend = DEFAULT_HOMOLOGY_BACKEND
+    validate_homology_backend(backend)
     cache = None
     if symmetry == "none":
         from .connectivity import connectivity_profile
@@ -174,7 +186,9 @@ def capacity_connectivity_census(
             (vertex, 1) for vertex in pc.vertex_views
         )
         classes = len(pc.vertex_views)
-        profile = lambda star: connectivity_profile(star, max_q=k - 1)  # noqa: E731
+        profile = lambda star: connectivity_profile(  # noqa: E731
+            star, max_q=k - 1, backend=backend
+        )
     else:
         from ..symmetry import renaming_star_signature
         from .connectivity import ConnectivityCache
@@ -193,7 +207,7 @@ def capacity_connectivity_census(
                 )
         groups = ((members[0], len(members)) for members in grouped.values())
         classes = len(grouped)
-        cache = ConnectivityCache(signature=renaming_star_signature)
+        cache = ConnectivityCache(signature=renaming_star_signature, backend=backend)
         profile = lambda star: cache.profile(star, max_q=k - 1)  # noqa: E731
 
     vertices = high = consistent = connected = connected_high = 0

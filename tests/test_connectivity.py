@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.topology import (
+    HOMOLOGY_BACKENDS,
     SimplicialComplex,
     boundary_of_simplex,
     connectivity_profile,
@@ -13,6 +14,8 @@ from repro.topology import (
     euler_characteristic,
     full_simplex,
     is_homologically_q_connected,
+    klein_bottle_complex,
+    projective_plane_complex,
     reduced_betti_numbers,
     simplices_by_dimension,
     sphere_complex,
@@ -79,6 +82,57 @@ class TestBettiNumbers:
     def test_max_dimension_truncates(self):
         sphere = sphere_complex(3)
         assert reduced_betti_numbers(sphere, max_dimension=1) == [0, 0]
+
+
+class TestGF2SensitiveSpaces:
+    """Golden spaces whose GF(2) Betti numbers differ from the rational ones.
+
+    RP² and the Klein bottle have 2-torsion in integral homology, so over
+    GF(2) they grow Betti numbers a kernel silently computing over Q (or Z)
+    would miss — run on every backend, together with the degenerate edge
+    cases, to pin field and convention at once.
+    """
+
+    @pytest.mark.parametrize("backend", HOMOLOGY_BACKENDS)
+    def test_projective_plane(self, backend):
+        rp2 = projective_plane_complex()
+        # Minimal triangulation: K₆ 1-skeleton, 10 triangles, χ = 1.
+        assert rp2.vertex_count == 6
+        assert len(rp2.facet_masks) == 10
+        assert euler_characteristic(rp2) == 1
+        assert reduced_betti_numbers(rp2, backend=backend) == [0, 1, 1]
+        assert connectivity_profile(rp2, backend=backend) == 0
+
+    @pytest.mark.parametrize("backend", HOMOLOGY_BACKENDS)
+    def test_klein_bottle(self, backend):
+        klein = klein_bottle_complex()
+        assert klein.vertex_count == 16
+        assert len(klein.facet_masks) == 32
+        assert euler_characteristic(klein) == 0
+        assert reduced_betti_numbers(klein, backend=backend) == [0, 2, 1]
+        assert connectivity_profile(klein, backend=backend) == 0
+
+    @pytest.mark.parametrize("backend", HOMOLOGY_BACKENDS)
+    def test_degenerate_edge_cases(self, backend):
+        empty = SimplicialComplex()
+        assert reduced_betti_numbers(empty, backend=backend) == []
+        assert connectivity_profile(empty, backend=backend) == -2
+        point = SimplicialComplex([{0}])
+        assert reduced_betti_numbers(point, backend=backend) == [0]
+        assert connectivity_profile(point, backend=backend) == 0
+        assert connectivity_profile(point, max_q=3, backend=backend) == 3
+        single_facet = SimplicialComplex([{0, 1, 2}])
+        assert reduced_betti_numbers(single_facet, backend=backend) == [0, 0, 0]
+        assert connectivity_profile(single_facet, backend=backend) == 2
+        two_points = SimplicialComplex([{0}, {1}])
+        assert reduced_betti_numbers(two_points, backend=backend) == [1]
+        assert connectivity_profile(two_points, backend=backend) == -1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            reduced_betti_numbers(sphere_complex(1), backend="sparse")
+        with pytest.raises(ValueError):
+            connectivity_profile(sphere_complex(1), backend="")
 
 
 class TestEulerCharacteristic:

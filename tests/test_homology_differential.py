@@ -76,6 +76,49 @@ class TestSparseKernelMatchesSeedHomology:
                 )
 
 
+class TestPackedBackendMatchesSeedHomology:
+    """Packed == dense (and == bigint), explicitly, on the same star family.
+
+    ``reduced_betti_numbers`` / ``connectivity_profile`` now default to the
+    word-packed backend, so the class above already exercises it; this class
+    pins each backend *by name* so the contract survives any future change
+    of default.
+    """
+
+    def test_every_star_packed_equals_oracles(self, protocol_complex):
+        complex_ = protocol_complex.complex
+        checked = 0
+        for vertex in complex_.vertices:
+            star = complex_.star(vertex)
+            dense_betti = dense_reduced_betti_numbers(star)
+            dense_profile = dense_connectivity_profile(star)
+            for backend in ("packed", "bigint"):
+                assert reduced_betti_numbers(star, backend=backend) == dense_betti
+                assert connectivity_profile(star, backend=backend) == dense_profile
+                assert connectivity_profile(star, max_q=CONTEXT.k - 1, backend=backend) == (
+                    dense_connectivity_profile(star, max_q=CONTEXT.k - 1)
+                )
+            checked += 1
+        assert checked == len(complex_.vertices)
+
+    def test_whole_complex_packed_equals_dense(self, protocol_complex):
+        complex_ = protocol_complex.complex
+        assert reduced_betti_numbers(complex_, backend="packed") == (
+            dense_reduced_betti_numbers(complex_)
+        )
+
+    def test_census_rows_identical_across_backends(self, protocol_complex):
+        from repro.topology import capacity_connectivity_census
+
+        rows = {
+            backend: capacity_connectivity_census(
+                protocol_complex, CONTEXT.k, backend=backend
+            ).row
+            for backend in ("packed", "bigint", "dense")
+        }
+        assert rows["packed"] == rows["bigint"] == rows["dense"]
+
+
 class TestBatchSystemMatchesReference:
     """System.from_family(engine="batch") == the seed eager-Run system."""
 
