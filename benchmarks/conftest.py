@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
 import sys
 
 import pytest
@@ -43,20 +44,28 @@ def record_benchmark(name: str, payload: dict) -> str:
     ``payload`` carries the benchmark's own fields — by convention at least
     wall times in seconds, the realised speedup over the reference/baseline
     path, and the size of the swept system (adversaries / vertices / runs) —
-    and is wrapped with the interpreter/platform stamp so records from
-    different runners stay comparable.  The destination directory defaults to
-    the working directory and is overridden with ``BENCH_OUTPUT_DIR`` (the CI
-    smoke job points that at its artifact directory).  Returns the path
-    written.
+    and is wrapped with the interpreter/platform stamp plus the process's
+    peak RSS (``max_rss_kb``), so records from different runners stay
+    comparable and memory regressions show up in the perf history alongside
+    wall times.  (``compare_bench`` only diffs ``*_seconds`` / ``speedup``
+    leaves, so the stamp fields never trip the baseline comparison.)  The
+    destination directory defaults to the working directory and is
+    overridden with ``BENCH_OUTPUT_DIR`` (the CI smoke job points that at
+    its artifact directory).  Returns the path written.
     """
     directory = os.environ.get("BENCH_OUTPUT_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    max_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        max_rss //= 1024
     record = {
         "benchmark": name,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "argv": sys.argv[1:],
+        "max_rss_kb": max_rss,
         **payload,
     }
     with open(path, "w", encoding="utf-8") as handle:

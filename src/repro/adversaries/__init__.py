@@ -1,13 +1,19 @@
 """Adversary construction: random generators, the paper's figures, Lemma 2 surgery, enumeration."""
 
 from .enumeration import (
+    ORBIT_MODES,
     AdversaryOrbit,
+    RestrictedSpace,
+    constructive_orbit_stream,
+    constructive_quotient,
     count_adversaries,
     count_orbits,
     enumerate_adversaries,
     enumerate_failure_patterns,
     enumerate_input_vectors,
     enumerate_orbits,
+    estimate_adversary_count,
+    pattern_and_orbit_counts,
 )
 from .generators import (
     AdversaryGenerator,
@@ -20,12 +26,16 @@ from .scenarios import Scenario, figure1_scenario, figure2_scenario, figure4_sce
 from .surgery import SurgeryCheck, SurgeryResult, lemma2_surgery, verify_surgery
 
 __all__ = [
+    "ORBIT_MODES",
     "AdversaryGenerator",
     "AdversaryOrbit",
+    "RestrictedSpace",
     "Scenario",
     "SurgeryCheck",
     "SurgeryResult",
     "block_crash_adversary",
+    "constructive_orbit_stream",
+    "constructive_quotient",
     "count_adversaries",
     "count_orbits",
     "crash_chain_adversary",
@@ -34,7 +44,9 @@ __all__ = [
     "enumerate_failure_patterns",
     "enumerate_input_vectors",
     "enumerate_orbits",
+    "estimate_adversary_count",
     "failure_free_adversaries",
+    "pattern_and_orbit_counts",
     "figure1_scenario",
     "figure2_scenario",
     "figure4_scenario",

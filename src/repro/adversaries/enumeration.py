@@ -179,11 +179,39 @@ class AdversaryOrbit:
         The permutation ``π`` with ``representative = π · first member``,
         where *first member* is the first orbit member the underlying
         enumeration produced; decision times and views lift back through it.
+        On the constructive path the representative *is* the first (and only)
+        member produced, so the certificate is the identity.
     """
 
     representative: Adversary
     size: int
     certificate: Tuple[int, ...]
+
+
+#: How ``enumerate_orbits``/``count_orbits`` produce the orbit stream:
+#: ``"constructive"`` (default) generates one canonical object per orbit by
+#: canonical augmentation; ``"dedup"`` is the retained hash-dedup oracle that
+#: canonicalises every space member.
+ORBIT_MODES = ("constructive", "dedup")
+
+
+def _validate_orbit_mode(symmetry: str) -> None:
+    if symmetry not in ORBIT_MODES:
+        raise ValueError(
+            f"unknown orbit-enumeration mode {symmetry!r}; choose 'constructive' "
+            f"(generate one object per orbit) or 'dedup' (the hash-dedup oracle)"
+        )
+
+
+def _resolve_restrictions(
+    context: Context, max_crash_round: Optional[int], max_failures: Optional[int]
+) -> Tuple[int, int]:
+    """The (max round, max failures) pair the enumerators actually use."""
+    resolved_failures = (
+        context.t if max_failures is None else min(max_failures, context.t)
+    )
+    resolved_round = context.horizon() if max_crash_round is None else max_crash_round
+    return resolved_round, resolved_failures
 
 
 def enumerate_orbits(
@@ -192,23 +220,44 @@ def enumerate_orbits(
     receiver_policy: str = "canonical",
     max_failures: Optional[int] = None,
     limit: Optional[int] = None,
+    symmetry: str = "constructive",
 ) -> Iterator[AdversaryOrbit]:
     """One :class:`AdversaryOrbit` per process-renaming orbit of the space.
 
-    Lazily streams :func:`enumerate_adversaries` through canonical-form
-    hashing — the full space is never materialised, only the set of canonical
-    keys — and yields each orbit the first time it is met, with its exact
-    size from the orbit–stabiliser theorem
-    (:func:`repro.symmetry.adversary_orbit_size`; valid because the
-    restricted spaces are closed under renaming).  The orbits partition the
-    space: ``sum(orbit.size) == count_adversaries(...)`` under the same
-    restrictions.  ``limit`` caps the number of *orbits* yielded (a smoke-run
-    device, like the adversary-level ``limit``).
-    """
-    from ..symmetry import adversary_orbit_size, canonical_adversary
+    ``symmetry="constructive"`` (default) *generates* the canonical
+    representatives directly: canonical failure patterns by canonical
+    augmentation and, per pattern, input vectors up to the pattern stabiliser
+    (:mod:`repro.symmetry.constructive`).  The work is proportional to the
+    number of orbits — no member of the space outside the representatives is
+    ever built, no canonical-key ``seen`` set is kept (memory is the
+    augmentation depth) — and orbit sizes come in closed form from the
+    factored stabiliser.
 
+    ``symmetry="dedup"`` is the retained oracle: the full space is streamed
+    through canonical-form hashing and each orbit is yielded the first time
+    it is met, with its size from the orbit–stabiliser theorem
+    (:func:`repro.symmetry.adversary_orbit_size`).  Both modes emit identical
+    representatives and sizes (pinned by
+    ``tests/test_constructive_enumeration.py``); they may differ in orbit
+    *order* and in the certificate (constructive representatives are their
+    own first member, so their certificates are the identity).
+
+    The orbits partition the space: ``sum(orbit.size) ==
+    count_adversaries(...)`` under the same restrictions.  ``limit`` caps the
+    number of *orbits* yielded (a smoke-run device, like the adversary-level
+    ``limit``).
+    """
+    _validate_orbit_mode(symmetry)
     if limit is not None and limit <= 0:
         return
+    if symmetry == "constructive":
+        yield from _enumerate_orbits_constructive(
+            context, max_crash_round, receiver_policy, max_failures, limit
+        )
+        return
+
+    from ..symmetry import adversary_orbit_size, canonical_adversary
+
     produced = 0
     seen = set()
     # One pattern-canonicalisation per distinct failure pattern: the
@@ -232,23 +281,210 @@ def enumerate_orbits(
             return
 
 
+def _enumerate_orbits_constructive(
+    context: Context,
+    max_crash_round: Optional[int],
+    receiver_policy: str,
+    max_failures: Optional[int],
+    limit: Optional[int],
+) -> Iterator[AdversaryOrbit]:
+    """The canonical-augmentation orbit stream (see :func:`enumerate_orbits`)."""
+    from ..symmetry import (
+        identity_permutation,
+        iter_canonical_patterns,
+        iter_canonical_vectors,
+        vector_orbit_size,
+    )
+
+    max_round, failures = _resolve_restrictions(context, max_crash_round, max_failures)
+    domain = tuple(context.values_domain)
+    identity = identity_permutation(context.n)
+    produced = 0
+    for node in iter_canonical_patterns(context.n, max_round, receiver_policy, failures):
+        pattern = node.pattern()
+        for values in iter_canonical_vectors(node, domain):
+            yield AdversaryOrbit(
+                Adversary(values, pattern), vector_orbit_size(node, values), identity
+            )
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
 def count_orbits(
     context: Context,
     max_crash_round: Optional[int] = None,
     receiver_policy: str = "canonical",
     max_failures: Optional[int] = None,
+    symmetry: str = "constructive",
 ) -> int:
     """The number of process-renaming orbits of the restricted space.
 
-    Counts through the lazy dedup front only — no orbit sizes are computed,
-    which skips one automorphism-kernel backtrack per orbit relative to
-    draining :func:`enumerate_orbits`.
+    ``symmetry="constructive"`` (default) walks only the canonical-pattern
+    augmentation tree and counts each pattern's vector orbits in closed form
+    (binomial multiset counts per twin cell) — cost proportional to the
+    number of *pattern* orbits, usable as a pre-flight tractability guard
+    even on spaces whose full enumeration is out of reach.
+    ``symmetry="dedup"`` counts through the lazy hash-dedup front
+    (:func:`repro.symmetry.iter_orbit_representatives`) — the oracle, with
+    cost proportional to the space.
     """
-    from ..symmetry import iter_orbit_representatives
+    return pattern_and_orbit_counts(
+        context, max_crash_round, receiver_policy, max_failures, symmetry
+    )[1]
 
-    return sum(
-        1
-        for _ in iter_orbit_representatives(
-            enumerate_adversaries(context, max_crash_round, receiver_policy, max_failures)
+
+def pattern_and_orbit_counts(
+    context: Context,
+    max_crash_round: Optional[int] = None,
+    receiver_policy: str = "canonical",
+    max_failures: Optional[int] = None,
+    symmetry: str = "constructive",
+    ceiling: Optional[int] = None,
+) -> Tuple[int, int]:
+    """``(pattern orbit count, adversary orbit count)`` in one pass.
+
+    The constructive pass visits each canonical pattern once and sums its
+    closed-form vector-orbit count; the dedup pass streams the whole space
+    and counts distinct pattern/adversary keys (the oracle).  ``ceiling``
+    turns the count into a bounded tractability probe: counting stops as
+    soon as the orbit total exceeds it (the returned total is then a lower
+    bound ``> ceiling``, which is all a guard needs).
+    """
+    _validate_orbit_mode(symmetry)
+    if symmetry == "constructive":
+        from ..symmetry import count_canonical_vectors, iter_canonical_patterns
+
+        max_round, failures = _resolve_restrictions(
+            context, max_crash_round, max_failures
         )
+        domain_size = len(context.values_domain)
+        patterns = orbits = 0
+        for node in iter_canonical_patterns(
+            context.n, max_round, receiver_policy, failures
+        ):
+            patterns += 1
+            orbits += count_canonical_vectors(node, domain_size)
+            if ceiling is not None and orbits > ceiling:
+                break
+        return patterns, orbits
+
+    from ..symmetry import canonical_adversary, iter_orbit_representatives
+
+    pattern_keys = set()
+    orbits = 0
+    for _index, adversary in iter_orbit_representatives(
+        enumerate_adversaries(context, max_crash_round, receiver_policy, max_failures)
+    ):
+        orbits += 1
+        pattern_keys.add(canonical_adversary(adversary).key[0])
+        if ceiling is not None and orbits > ceiling:
+            break
+    return len(pattern_keys), orbits
+
+
+# ------------------------------------------------------- space descriptions
+@dataclass(frozen=True)
+class RestrictedSpace:
+    """A restricted adversary space as a first-class, lazily-enumerable value.
+
+    Bundles a context with the restriction flags of
+    :func:`enumerate_adversaries` so consumers can receive the *description*
+    of a space instead of a materialised family.  Iterating yields the
+    space's adversaries (streaming; ``limit`` truncates exactly like the
+    enumerator's); :meth:`orbits` yields one :class:`AdversaryOrbit` per
+    renaming orbit, constructively by default — which is what lets
+    ``symmetry="constructive"`` consumers sweep spaces whose full enumeration
+    is intractable (``limit`` then caps *orbits*, mirroring
+    :func:`enumerate_orbits`).
+    """
+
+    context: Context
+    max_crash_round: Optional[int] = None
+    receiver_policy: str = "canonical"
+    max_failures: Optional[int] = None
+    limit: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Adversary]:
+        return enumerate_adversaries(
+            self.context,
+            max_crash_round=self.max_crash_round,
+            receiver_policy=self.receiver_policy,
+            max_failures=self.max_failures,
+            limit=self.limit,
+        )
+
+    def orbits(self, symmetry: str = "constructive") -> Iterator[AdversaryOrbit]:
+        """One orbit per renaming class of the space (``limit`` caps orbits)."""
+        return enumerate_orbits(
+            self.context,
+            max_crash_round=self.max_crash_round,
+            receiver_policy=self.receiver_policy,
+            max_failures=self.max_failures,
+            limit=self.limit,
+            symmetry=symmetry,
+        )
+
+    def estimated_size(self) -> int:
+        """Closed-form member count of the (un-truncated) space."""
+        return estimate_adversary_count(
+            self.context,
+            max_crash_round=self.max_crash_round,
+            receiver_policy=self.receiver_policy,
+            max_failures=self.max_failures,
+        )
+
+    def orbit_count(self, symmetry: str = "constructive") -> int:
+        """Orbit count of the (un-truncated) space."""
+        return count_orbits(
+            self.context,
+            max_crash_round=self.max_crash_round,
+            receiver_policy=self.receiver_policy,
+            max_failures=self.max_failures,
+            symmetry=symmetry,
+        )
+
+
+def constructive_orbit_stream(adversaries) -> Iterator[AdversaryOrbit]:
+    """Resolve a ``symmetry="constructive"`` family argument to an orbit stream.
+
+    Accepts a :class:`RestrictedSpace` (the orbits are generated from the
+    space description) or an iterable that already yields
+    :class:`AdversaryOrbit` values (e.g. a pre-built
+    :func:`enumerate_orbits` stream).  A plain adversary family is rejected
+    with guidance: constructive enumeration needs the space's *description*
+    to generate representatives — deduplicating an arbitrary family is what
+    ``symmetry="quotient"`` is for.
+    """
+    if isinstance(adversaries, RestrictedSpace):
+        return adversaries.orbits()
+    iterator = iter(adversaries)
+    first = next(iterator, None)
+    if first is None:
+        return iter(())
+    if isinstance(first, AdversaryOrbit):
+        return itertools.chain([first], iterator)
+    raise ValueError(
+        "symmetry='constructive' generates orbit representatives from a space "
+        "description: pass a RestrictedSpace (or a stream of AdversaryOrbit "
+        "from enumerate_orbits) instead of a plain adversary family, or use "
+        "symmetry='quotient' to deduplicate an arbitrary family"
     )
+
+
+def constructive_quotient(adversaries) -> Tuple[List[Adversary], List[int], List[int]]:
+    """``(representatives, weights, indices)`` off the constructive stream.
+
+    The same shape :func:`repro.symmetry.quotient_family` returns, so
+    quotient consumers can fold constructive orbits through their existing
+    weighted paths; ``indices`` number the orbits in generation order (there
+    is no underlying exhaustive enumeration to index into).
+    """
+    representatives: List[Adversary] = []
+    weights: List[int] = []
+    indices: List[int] = []
+    for index, orbit in enumerate(constructive_orbit_stream(adversaries)):
+        representatives.append(orbit.representative)
+        weights.append(orbit.size)
+        indices.append(index)
+    return representatives, weights, indices

@@ -111,20 +111,28 @@ def collect(
     per process-renaming orbit and orbit-weights the statistics — the
     resulting histograms and means equal the exhaustive ones (paper bounds
     depend only on ``f``, which is constant on orbits, so bound accounting
-    is exact too).
+    is exact too).  ``symmetry="constructive"`` generates the representatives
+    from a :class:`repro.adversaries.RestrictedSpace` (or an
+    :func:`repro.adversaries.enumerate_orbits` stream) instead of
+    deduplicating a materialised family.
     """
     from ..symmetry import validate_symmetry_choice
 
     validate_symmetry_choice(symmetry)
-    # Materialise once: the family is iterated per protocol and then zipped
-    # against its results, so a one-shot iterator must not be consumed early.
-    adversaries = list(adversaries)
     weights: Sequence[int]
-    if symmetry == "quotient":
+    if symmetry == "constructive":
+        from ..adversaries.enumeration import constructive_quotient
+
+        adversaries, weights, _indices = constructive_quotient(adversaries)
+    elif symmetry == "quotient":
         from ..symmetry import quotient_family
 
         adversaries, weights, _indices = quotient_family(adversaries)
     else:
+        # Materialise once: the family is iterated per protocol and then
+        # zipped against its results, so a one-shot iterator must not be
+        # consumed early.
+        adversaries = list(adversaries)
         weights = [1] * len(adversaries)
     stats: Dict[str, ProtocolStatistics] = {}
     for protocol in protocols:

@@ -10,7 +10,12 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
   execution path, like ``sweep``);
 * ``sweep``    — exhaustively verify a protocol over the enumerated adversary
   space of a context on the batch engine (or the reference oracle), with an
-  optional multiprocessing executor;
+  optional multiprocessing executor; ``--symmetry constructive`` sweeps one
+  *generated* canonical representative per renaming orbit, which opens
+  spaces whose full enumeration is intractable;
+* ``count``    — pre-flight tractability guard: closed-form member count plus
+  constructive pattern/adversary orbit counts for a restricted space,
+  without enumerating it;
 * ``figure4``  — regenerate the paper's headline uniform-consensus comparison
   for a chosen ``k`` and ``⌊t/k⌋``;
 * ``surgery``  — apply the Lemma 2 surgery on the Fig. 2 adversary and print
@@ -91,7 +96,25 @@ def _add_symmetry_argument(parser: argparse.ArgumentParser) -> None:
         default=SYMMETRIES[0],
         choices=list(SYMMETRIES),
         help="'quotient' sweeps one representative per process-renaming orbit "
-        "(orbit-weighted reports; identical verdicts)",
+        "(orbit-weighted reports; identical verdicts); 'constructive' "
+        "generates the representatives directly from the space description "
+        "(no full enumeration — use `count` to size a space first)",
+    )
+
+
+def _add_restriction_arguments(parser: argparse.ArgumentParser) -> None:
+    """Space-restriction flags shared by ``sweep`` and ``count``."""
+    parser.add_argument(
+        "--max-crash-round", type=int, default=None, help="latest enumerated crash round"
+    )
+    parser.add_argument(
+        "--receiver-policy",
+        default="canonical",
+        choices=["all", "canonical", "none"],
+        help="crashing-round delivery subsets to enumerate",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, help="cap the number of crashes below t"
     )
 
 
@@ -129,6 +152,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 2
     context = Context(n=args.n, t=args.t, k=args.k)
     adversaries = AdversaryGenerator(context, seed=args.seed).sample(args.samples)
+    symmetry = args.symmetry
+    if symmetry == "constructive":
+        # The compare ensemble is randomly sampled — there is no enumerated
+        # space description to generate representatives from, so the
+        # hash-dedup quotient is the orbit front for this command.
+        print(
+            "note: compare samples a random ensemble; constructive generation "
+            "needs an enumerated space — using symmetry='quotient' on the sample"
+        )
+        symmetry = "quotient"
     protocols = [_protocol(name, args.k) for name in args.protocols]
     print(
         statistics_report(
@@ -138,7 +171,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 context.t,
                 engine=args.engine,
                 processes=args.processes,
-                symmetry=args.symmetry,
+                symmetry=symmetry,
             )
         )
     )
@@ -152,7 +185,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             context.t,
             engine=args.engine,
             processes=args.processes,
-            symmetry=args.symmetry,
+            symmetry=symmetry,
         )
         print(report.summary())
     return 0
@@ -167,15 +200,20 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     print(
         f"Fig. 4 adversary: n={adversary.n}, t=f={t}, deadline ⌊t/k⌋+1={t // args.k + 1}"
     )
-    if args.symmetry == "quotient":
+    if args.symmetry != "none":
         # Decision times are constant on renaming orbits, so the canonical
         # representative reproduces the figure; print the certificate so the
-        # per-process times can be lifted back by hand if wanted.
+        # per-process times can be lifted back by hand if wanted.  A single
+        # concrete adversary has no space description, so 'constructive'
+        # shares this canonicalisation path.
         from .symmetry import canonical_adversary
 
         canonical = canonical_adversary(adversary)
         adversary = canonical.representative
-        print(f"  (quotient: canonical representative via π={list(canonical.permutation)})")
+        print(
+            f"  ({args.symmetry}: canonical representative via "
+            f"π={list(canonical.permutation)})"
+        )
     for name in ("upmin", "optmin", "uearly", "early", "floodmin"):
         protocol = _protocol(name, args.k)
         run = run_one(protocol, adversary, t, args.engine)
@@ -190,8 +228,11 @@ MAX_UNBOUNDED_SWEEP = 200_000
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .adversaries.enumeration import enumerate_adversaries, estimate_adversary_count
-
+    from .adversaries.enumeration import (
+        RestrictedSpace,
+        estimate_adversary_count,
+        pattern_and_orbit_counts,
+    )
     from .engine import validate_engine_choice
 
     try:
@@ -201,33 +242,55 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     context = Context(n=args.n, t=args.t, k=args.k)
     protocol = _protocol(args.protocol, args.k)
-    estimate = estimate_adversary_count(
-        context,
-        max_crash_round=args.max_crash_round,
-        receiver_policy=args.receiver_policy,
-        max_failures=args.max_failures,
-    )
-    if args.limit is None and estimate > MAX_UNBOUNDED_SWEEP:
-        print(
-            f"refusing to enumerate ~{estimate:,} adversaries without --limit "
-            f"(threshold {MAX_UNBOUNDED_SWEEP:,}); restrict the space with "
-            f"--max-crash-round / --max-failures / --receiver-policy none, "
-            f"or cap it with --limit"
-        )
-        return 2
-    adversaries = list(
-        enumerate_adversaries(
+    if args.symmetry == "constructive":
+        # The constructive path only ever touches one object per orbit, so
+        # the tractability guard is on the orbit count (a bounded probe over
+        # canonical patterns), not on the full-space size — this is exactly
+        # what lets it sweep spaces the other modes must refuse.
+        _patterns, orbits = pattern_and_orbit_counts(
             context,
             max_crash_round=args.max_crash_round,
             receiver_policy=args.receiver_policy,
             max_failures=args.max_failures,
-            limit=args.limit,
+            ceiling=MAX_UNBOUNDED_SWEEP,
         )
+        if args.limit is None and orbits > MAX_UNBOUNDED_SWEEP:
+            print(
+                f"refusing to sweep >{MAX_UNBOUNDED_SWEEP:,} orbit representatives "
+                f"without --limit; size the space first with "
+                f"`repro-set-consensus count`, restrict it with "
+                f"--max-crash-round / --max-failures / --receiver-policy none, "
+                f"or cap it with --limit"
+            )
+            return 2
+    else:
+        estimate = estimate_adversary_count(
+            context,
+            max_crash_round=args.max_crash_round,
+            receiver_policy=args.receiver_policy,
+            max_failures=args.max_failures,
+        )
+        if args.limit is None and estimate > MAX_UNBOUNDED_SWEEP:
+            print(
+                f"refusing to enumerate ~{estimate:,} adversaries without --limit "
+                f"(threshold {MAX_UNBOUNDED_SWEEP:,}); size the space with "
+                f"`repro-set-consensus count`, restrict it with "
+                f"--max-crash-round / --max-failures / --receiver-policy none, "
+                f"cap it with --limit, or sweep its orbits with "
+                f"--symmetry constructive"
+            )
+            return 2
+    space = RestrictedSpace(
+        context,
+        max_crash_round=args.max_crash_round,
+        receiver_policy=args.receiver_policy,
+        max_failures=args.max_failures,
+        limit=args.limit,
     )
     start = time.perf_counter()
     report = check_protocol(
         protocol,
-        adversaries,
+        space,
         context.t,
         engine=args.engine,
         processes=args.processes,
@@ -253,6 +316,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("no adversaries were enumerated — nothing was verified; check the restriction flags")
         return 2
     return 0 if report.ok else 1
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    from .adversaries.enumeration import estimate_adversary_count, pattern_and_orbit_counts
+
+    context = Context(n=args.n, t=args.t, k=args.k)
+    restrictions = dict(
+        max_crash_round=args.max_crash_round,
+        receiver_policy=args.receiver_policy,
+        max_failures=args.max_failures,
+    )
+    start = time.perf_counter()
+    members = estimate_adversary_count(context, **restrictions)
+    patterns, orbits = pattern_and_orbit_counts(context, **restrictions)
+    elapsed = time.perf_counter() - start
+    print(
+        f"restricted adversary space over n={args.n}, t={args.t}, k={args.k} "
+        f"(max_crash_round={args.max_crash_round}, "
+        f"receiver_policy={args.receiver_policy}, max_failures={args.max_failures})"
+    )
+    print(f"  members (closed form)   : {members:,}")
+    print(f"  failure-pattern orbits  : {patterns:,}")
+    print(f"  adversary orbits        : {orbits:,}")
+    if orbits:
+        print(f"  orbit reduction factor  : {members / orbits:,.1f}x")
+    print(f"  counted in {elapsed:.2f}s (constructive; no members materialised)")
+    exhaustive_ok = members <= MAX_UNBOUNDED_SWEEP
+    constructive_ok = orbits <= MAX_UNBOUNDED_SWEEP
+    print(
+        f"  sweep (exhaustive)      : "
+        f"{'tractable' if exhaustive_ok else 'needs --limit'} "
+        f"(threshold {MAX_UNBOUNDED_SWEEP:,} members)"
+    )
+    print(
+        f"  sweep --symmetry constructive: "
+        f"{'tractable' if constructive_ok else 'needs --limit'} "
+        f"(threshold {MAX_UNBOUNDED_SWEEP:,} orbits)"
+    )
+    return 0
 
 
 def cmd_surgery(args: argparse.Namespace) -> int:
@@ -383,23 +485,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing workers, >= 1 (batch engine only)",
     )
-    sweep_parser.add_argument(
-        "--max-crash-round", type=int, default=None, help="latest enumerated crash round"
-    )
-    sweep_parser.add_argument(
-        "--receiver-policy",
-        default="canonical",
-        choices=["all", "canonical", "none"],
-        help="crashing-round delivery subsets to enumerate",
-    )
-    sweep_parser.add_argument(
-        "--max-failures", type=int, default=None, help="cap the number of crashes below t"
-    )
+    _add_restriction_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--limit", type=int, default=None, help="truncate the adversary stream (smoke runs)"
     )
     _add_symmetry_argument(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    count_parser = subparsers.add_parser(
+        "count",
+        help="size a restricted adversary space before sweeping it "
+        "(members, orbits, tractability verdicts)",
+    )
+    _add_context_arguments(count_parser)
+    _add_restriction_arguments(count_parser)
+    count_parser.set_defaults(func=cmd_count)
 
     figure4_parser = subparsers.add_parser("figure4", help="regenerate the Fig. 4 comparison")
     figure4_parser.add_argument("-k", type=int, default=3)

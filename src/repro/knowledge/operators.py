@@ -168,6 +168,14 @@ class System:
         ``knows`` on the full system (pinned by
         ``tests/test_quotient_differential.py``); :attr:`orbit_weights`
         records how many family members each run stands for.
+
+        ``symmetry="constructive"`` builds the same orbit-quotiented system
+        from a *space description*: ``adversaries`` must be a
+        :class:`repro.adversaries.RestrictedSpace` (or an
+        :func:`repro.adversaries.enumerate_orbits` stream), whose canonical
+        representatives are generated directly — the full family is never
+        enumerated, which is the only way to build systems over spaces
+        beyond enumeration reach.
         """
         from ..engine.sweep import SweepRunner, validate_engine_choice
         from ..engine.views import RunCache
@@ -175,17 +183,23 @@ class System:
 
         validate_engine_choice(engine, processes)
         validate_symmetry_choice(symmetry)
-        batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
         weights: Optional[Tuple[int, ...]] = None
-        if symmetry == "quotient":
-            from ..symmetry import quotient_family
+        if symmetry == "constructive":
+            from ..adversaries.enumeration import constructive_quotient
 
-            batch, weight_list, _indices = quotient_family(batch)
+            batch, weight_list, _indices = constructive_quotient(adversaries)
             weights = tuple(weight_list)
+        else:
+            batch = adversaries if isinstance(adversaries, (list, tuple)) else list(adversaries)
+            if symmetry == "quotient":
+                from ..symmetry import quotient_family
+
+                batch, weight_list, _indices = quotient_family(batch)
+                weights = tuple(weight_list)
         if engine == "reference":
             system = cls([Run(protocol, adversary, t, horizon=horizon) for adversary in batch])
-            if symmetry == "quotient":
-                system._quotient_index(weights)
+            if weights is not None:
+                system._quotient_index(weights, symmetry)
             return system
         if not batch:
             raise ValueError("a system must contain at least one run")
@@ -197,16 +211,18 @@ class System:
         system._index = index
         system._symmetry = "none"
         system._orbit_weights = None
-        if symmetry == "quotient":
-            system._quotient_index(weights)
+        if weights is not None:
+            system._quotient_index(weights, symmetry)
         return system
 
-    def _quotient_index(self, weights: Tuple[int, ...]) -> None:
+    def _quotient_index(self, weights: Tuple[int, ...], symmetry: str = "quotient") -> None:
         """Re-key the Definition 4 index by canonical view-key classes.
 
         Points whose local states differ only by a process renaming fall into
         one class, which is what makes quotient knowledge of
-        renaming-invariant facts agree with the full system's.
+        renaming-invariant facts agree with the full system's.  ``symmetry``
+        records which front produced the representatives (``"quotient"`` or
+        ``"constructive"``); the index transform is identical.
         """
         from ..symmetry import canonical_view_key
 
@@ -216,12 +232,12 @@ class System:
         for indices in merged.values():
             indices.sort()
         self._index = merged
-        self._symmetry = "quotient"
+        self._symmetry = symmetry
         self._orbit_weights = weights
 
     @property
     def symmetry(self) -> str:
-        """``"none"`` for a full system, ``"quotient"`` for an orbit-quotiented one."""
+        """``"none"`` for a full system, ``"quotient"``/``"constructive"`` for an orbit-quotiented one."""
         return self._symmetry
 
     @property
@@ -294,7 +310,7 @@ class System:
         system realises the state.
         """
         key = view_key(view)
-        if self._symmetry == "quotient":
+        if self._symmetry in ("quotient", "constructive"):
             from ..symmetry import canonical_view_key
 
             key = canonical_view_key(key)

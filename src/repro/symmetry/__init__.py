@@ -28,6 +28,10 @@ This package provides:
   sizes via the orbit-stabiliser theorem;
 * :func:`quotient_family` — streaming canonical-form grouping of an
   arbitrary adversary family (first-seen representatives + member counts);
+* :mod:`repro.symmetry.constructive` — canonical augmentation: generate one
+  canonical pattern per orbit directly (no dedup set) and enumerate input
+  vectors up to the pattern stabiliser, the engine behind
+  ``symmetry="constructive"``;
 * :func:`canonical_view_key` / :func:`view_key_orbit_size` — the induced
   action on canonical view keys (protocol-complex vertices);
 * :func:`star_signature` — an exact canonical form of a simplicial
@@ -59,12 +63,22 @@ from .canonical import (
     validate_symmetry_choice,
     view_key_orbit_size,
 )
+from .constructive import (
+    CanonicalPatternNode,
+    count_canonical_vectors,
+    iter_canonical_patterns,
+    iter_canonical_vectors,
+    root_pattern_node,
+    stabiliser_generators,
+    vector_orbit_size,
+)
 from .signature import renaming_star_signature, star_signature
 
 __all__ = [
     "GROUPS",
     "SYMMETRIES",
     "CanonicalAdversary",
+    "CanonicalPatternNode",
     "PatternCanon",
     "adversary_orbit_size",
     "apply_to_adversary",
@@ -75,12 +89,17 @@ __all__ = [
     "canonical_adversary",
     "canonical_pattern",
     "canonical_view_key",
+    "count_canonical_vectors",
     "identity_permutation",
     "invert_permutation",
+    "iter_canonical_patterns",
+    "iter_canonical_vectors",
     "iter_orbit_representatives",
     "quotient_family",
     "renaming_star_signature",
+    "root_pattern_node",
+    "stabiliser_generators",
     "star_signature",
     "validate_symmetry_choice",
-    "view_key_orbit_size",
+    "vector_orbit_size",
 ]

@@ -47,7 +47,7 @@ Permutation = Tuple[int, ...]
 NormalEvent = Tuple[int, int, Tuple[int, ...]]
 
 #: The symmetry modes every quotient-capable entry point accepts.
-SYMMETRIES = ("none", "quotient")
+SYMMETRIES = ("none", "quotient", "constructive")
 
 #: The symmetry groups canonical forms can be computed under.
 GROUPS = ("process", "full")
@@ -57,7 +57,9 @@ def validate_symmetry_choice(symmetry: str) -> None:
     """Validate a ``symmetry=`` selection (single owner of the dispatch rule)."""
     if symmetry not in SYMMETRIES:
         raise ValueError(
-            f"unknown symmetry {symmetry!r}; choose 'none' (exhaustive) or 'quotient'"
+            f"unknown symmetry {symmetry!r}; choose 'none' (exhaustive), "
+            f"'quotient' (hash-dedup orbit representatives) or 'constructive' "
+            f"(orbit representatives generated directly from a space description)"
         )
 
 

@@ -160,6 +160,12 @@ def capacity_connectivity_census(
     by the class size — the returned counts are identical to the exhaustive
     ones (pinned by ``tests/test_quotient_differential.py`` and gated at
     survey scale by ``benchmarks/bench_symmetry_quotient.py``).
+    ``symmetry="constructive"`` is accepted as an alias of the quotient
+    survey: the census operates on an already-built complex, where the
+    canonical view-key grouping *is* the constructive front (exact orbit ids,
+    one homology probe per class) — constructive generation matters upstream,
+    in the family the complex is built from
+    (:func:`repro.adversaries.enumerate_orbits`).
 
     Quotient soundness requires the complex's family to be closed under
     process renaming, which holds for :func:`build_restricted_complex`
@@ -200,8 +206,8 @@ def capacity_connectivity_census(
             facet_counts = {pc.complex.star_facet_count(member) for member in members}
             if len(facet_counts) > 1:
                 raise ValueError(
-                    "capacity_connectivity_census(symmetry='quotient') requires a "
-                    "family closed under process renaming: vertices of one "
+                    f"capacity_connectivity_census(symmetry={symmetry!r}) requires "
+                    "a family closed under process renaming: vertices of one "
                     "canonical class have stars of different sizes "
                     f"({sorted(facet_counts)} facets) in this complex"
                 )

@@ -161,6 +161,12 @@ def find_agreement_violation(
     verdict (found vs not found) is identical to the exhaustive one; the
     returned index is the representative's position in the *original* stream
     and the returned adversary is a true family member.
+
+    ``symmetry="constructive"`` scans one *generated* representative per
+    orbit — ``adversaries`` must be a
+    :class:`repro.adversaries.RestrictedSpace` (or an
+    :func:`repro.adversaries.enumerate_orbits` stream); the early exit is
+    preserved and the returned index numbers orbits in generation order.
     """
     import itertools
 
@@ -170,10 +176,17 @@ def find_agreement_violation(
     validate_engine_choice(engine, processes)
     validate_symmetry_choice(symmetry)
     check = check_uniform_agreement if uniform else check_agreement
-    if symmetry == "quotient":
+    if symmetry == "constructive":
+        from ..adversaries.enumeration import constructive_orbit_stream
+
+        indexed: Iterable[Tuple[int, Adversary]] = (
+            (index, orbit.representative)
+            for index, orbit in enumerate(constructive_orbit_stream(adversaries))
+        )
+    elif symmetry == "quotient":
         from ..symmetry import iter_orbit_representatives
 
-        indexed: Iterable[Tuple[int, Adversary]] = iter_orbit_representatives(adversaries)
+        indexed = iter_orbit_representatives(adversaries)
     else:
         indexed = enumerate(adversaries)
     if engine == "reference":

@@ -100,12 +100,29 @@ def check_protocol(
     ``symmetry="quotient"`` checks one representative per process-renaming
     orbit and weights its outcome by the orbit's member count; the report's
     census fields equal the exhaustive ones (see the module docstring).
+    ``symmetry="constructive"`` does the same but *generates* the
+    representatives from a space description instead of deduplicating the
+    family — ``adversaries`` must then be a
+    :class:`repro.adversaries.RestrictedSpace` (or a pre-built
+    :func:`repro.adversaries.enumerate_orbits` stream), which is what makes
+    spaces too large to enumerate checkable.
     """
     from ..engine import SweepRunner, validate_engine_choice
     from ..symmetry import validate_symmetry_choice
 
     validate_engine_choice(engine, processes)
     validate_symmetry_choice(symmetry)
+    if symmetry == "constructive":
+        from ..adversaries.enumeration import constructive_quotient
+
+        return _check_quotiented(
+            protocol,
+            constructive_quotient(adversaries),
+            t,
+            enforce_paper_bound,
+            engine,
+            processes,
+        )
     if symmetry == "quotient":
         from ..symmetry import quotient_family
 
@@ -161,15 +178,23 @@ def check_protocols(
     """Check several protocols over the same adversary family.
 
     The quotient is computed once and shared across protocols (orbits do not
-    depend on the protocol under check).
+    depend on the protocol under check); the constructive orbit stream is
+    likewise drained once.
     """
-    if symmetry == "quotient":
+    if symmetry in ("quotient", "constructive"):
         from ..engine import validate_engine_choice
-        from ..symmetry import quotient_family, validate_symmetry_choice
+        from ..symmetry import validate_symmetry_choice
 
         validate_engine_choice(engine, processes)
         validate_symmetry_choice(symmetry)
-        quotiented = quotient_family(adversaries)
+        if symmetry == "constructive":
+            from ..adversaries.enumeration import constructive_quotient
+
+            quotiented = constructive_quotient(adversaries)
+        else:
+            from ..symmetry import quotient_family
+
+            quotiented = quotient_family(adversaries)
         return {
             getattr(protocol, "name", repr(protocol)): _check_quotiented(
                 protocol, quotiented, t, enforce_paper_bound, engine, processes
@@ -207,10 +232,13 @@ def exhaustive_context_check(
     process renaming before the sweep; the restricted spaces are closed under
     renaming for every restriction flag, so the report still accounts for the
     full space (``runs_checked`` and the histogram are orbit-weighted).
+    ``symmetry="constructive"`` skips the enumeration entirely and generates
+    one representative per orbit from the restriction flags themselves
+    (``limit`` then caps *orbits* rather than adversaries).
     """
-    from ..adversaries.enumeration import enumerate_adversaries
+    from ..adversaries.enumeration import RestrictedSpace
 
-    adversaries = enumerate_adversaries(
+    space = RestrictedSpace(
         context,
         max_crash_round=max_crash_round,
         receiver_policy=receiver_policy,
@@ -218,5 +246,5 @@ def exhaustive_context_check(
         limit=limit,
     )
     return check_protocol(
-        protocol, adversaries, context.t, engine=engine, processes=processes, symmetry=symmetry
+        protocol, space, context.t, engine=engine, processes=processes, symmetry=symmetry
     )

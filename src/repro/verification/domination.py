@@ -201,15 +201,22 @@ def _weighted_run_pairs(candidate, reference, adversaries, t, engine, processes,
     :func:`last_decider_compare`: exhaustive comparisons stream every family
     member with weight 1; quotient comparisons stream one representative per
     renaming orbit, weighted by its member count and indexed by its original
-    family position.
+    family position; constructive comparisons stream one *generated*
+    representative per orbit of a :class:`repro.adversaries.RestrictedSpace`
+    (orbit-size weights, generation-order indices).
     """
     from ..symmetry import validate_symmetry_choice
 
     validate_symmetry_choice(symmetry)
-    if symmetry == "quotient":
-        from ..symmetry import quotient_family
+    if symmetry in ("quotient", "constructive"):
+        if symmetry == "constructive":
+            from ..adversaries.enumeration import constructive_quotient
 
-        representatives, weights, first_indices = quotient_family(adversaries)
+            representatives, weights, first_indices = constructive_quotient(adversaries)
+        else:
+            from ..symmetry import quotient_family
+
+            representatives, weights, first_indices = quotient_family(adversaries)
         pairs = _run_pairs(candidate, reference, representatives, t, engine, processes)
         return (
             (index, weight, candidate_run, reference_run)

@@ -107,6 +107,45 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--symmetry", "orbit"])
 
+    def test_constructive_sweep_reports_full_space(self, capsys):
+        # --symmetry constructive generates one representative per orbit
+        # straight from the space description; the report still accounts for
+        # every member of the space.
+        code = main(
+            ["sweep", "-n", "4", "-t", "2", "-k", "2",
+             "--max-crash-round", "2", "--symmetry", "constructive"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK over 51921 runs" in out
+        assert "symmetry=constructive" in out
+
+    def test_constructive_sweep_opens_refused_spaces(self, capsys):
+        # n=5, t=2, mcr=2 has 364,743 members (> the unbounded threshold, so
+        # the exhaustive guard refuses) but only 4,926 orbits — constructive
+        # sweeps it without --limit.
+        args = ["sweep", "-n", "5", "-t", "2", "-k", "2", "--max-crash-round", "2"]
+        assert main(args) == 2
+        assert "refusing to enumerate" in capsys.readouterr().out
+        assert main(args + ["--symmetry", "constructive"]) == 0
+        assert "OK over 364743 runs" in capsys.readouterr().out
+
+    def test_constructive_refusal_counts_orbits(self, capsys):
+        # The default n=7, t=4 space has astronomically many orbits too; the
+        # constructive guard must refuse on the orbit count without hanging.
+        assert main(["sweep", "--symmetry", "constructive"]) == 2
+        out = capsys.readouterr().out
+        assert "orbit representatives" in out
+        assert "count" in out
+
+    def test_constructive_empty_space_is_not_vacuously_ok(self, capsys):
+        code = main(
+            ["sweep", "-n", "3", "-t", "1", "-k", "1",
+             "--max-failures", "-1", "--symmetry", "constructive"]
+        )
+        assert code == 2
+        assert "nothing was verified" in capsys.readouterr().out
+
     def test_reference_engine_sweep(self, capsys):
         code = main(
             ["sweep", "-n", "3", "-t", "1", "-k", "1", "--protocol", "upmin",
@@ -120,6 +159,30 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "engine=reference" in capsys.readouterr().out
+
+
+class TestCountCommand:
+    def test_count_reports_members_and_orbits(self, capsys):
+        assert main(["count", "-n", "4", "-t", "2", "-k", "2", "--max-crash-round", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "members (closed form)   : 51,921" in out
+        assert "adversary orbits        : 2,601" in out
+        assert "tractable" in out
+
+    def test_count_flags_intractable_exhaustive_sweep(self, capsys):
+        # 364,743 members > the unbounded-sweep threshold, 4,926 orbits below
+        # it: the verdicts must disagree, pointing at --symmetry constructive.
+        assert main(["count", "-n", "5", "-t", "2", "-k", "2", "--max-crash-round", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep (exhaustive)      : needs --limit" in out
+        assert "sweep --symmetry constructive: tractable" in out
+
+    def test_count_accepts_restriction_flags(self, capsys):
+        assert main(
+            ["count", "-n", "4", "-t", "3", "-k", "2", "--max-failures", "1",
+             "--receiver-policy", "none", "--max-crash-round", "1"]
+        ) == 0
+        assert "orbit reduction factor" in capsys.readouterr().out
 
 
 class TestFigure4Command:

@@ -203,3 +203,61 @@ class TestAdversaries:
             enumerate_adversaries(context, max_crash_round=1, receiver_policy="canonical")
         )
         assert len(adversaries) == len(set(adversaries))
+
+
+class TestBurnside:
+    """Orbit counts against naive group averaging (Burnside's lemma).
+
+    The number of process-renaming orbits of a restricted space equals the
+    average number of members fixed by each renaming:
+    ``(1/n!) * sum over sigma of |Fix(sigma)|``.  This is an independent
+    oracle — it never canonicalises, never augments, it just applies the
+    group — so it cross-checks both orbit-counting modes at once.
+    """
+
+    @staticmethod
+    def _burnside_count(context, **restrictions):
+        from itertools import permutations
+        from math import factorial
+
+        from repro.symmetry import apply_to_adversary
+
+        members = set(enumerate_adversaries(context, **restrictions))
+        fixed = 0
+        for sigma in permutations(range(context.n)):
+            fixed += sum(
+                1 for member in members if apply_to_adversary(member, sigma) == member
+            )
+        assert fixed % factorial(context.n) == 0, "Burnside sum must divide evenly"
+        return fixed // factorial(context.n)
+
+    @pytest.mark.parametrize("policy", ["none", "canonical", "all"])
+    @pytest.mark.parametrize("max_crash_round", [1, 2])
+    def test_orbit_counts_match_burnside(self, policy, max_crash_round):
+        from repro.adversaries import count_orbits
+
+        context = Context(n=3, t=2, k=1, max_value=1)
+        restrictions = dict(max_crash_round=max_crash_round, receiver_policy=policy)
+        expected = self._burnside_count(context, **restrictions)
+        assert count_orbits(context, symmetry="constructive", **restrictions) == expected
+        assert count_orbits(context, symmetry="dedup", **restrictions) == expected
+
+    @pytest.mark.parametrize("max_failures", [0, 1, 2])
+    def test_orbit_counts_match_burnside_with_max_failures(self, max_failures):
+        from repro.adversaries import count_orbits
+
+        context = Context(n=4, t=2, k=2)
+        restrictions = dict(
+            max_crash_round=1, receiver_policy="canonical", max_failures=max_failures
+        )
+        expected = self._burnside_count(context, **restrictions)
+        assert count_orbits(context, symmetry="constructive", **restrictions) == expected
+        assert count_orbits(context, symmetry="dedup", **restrictions) == expected
+
+    def test_burnside_on_the_full_unrestricted_space(self):
+        from repro.adversaries import count_orbits
+
+        context = Context(n=3, t=1, k=1, max_value=2)
+        expected = self._burnside_count(context)
+        assert count_orbits(context, symmetry="constructive") == expected
+        assert count_orbits(context, symmetry="dedup") == expected
