@@ -25,6 +25,13 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
   backend (``packed`` kernel or the ``bigint`` / ``dense`` oracles) and
   ``--symmetry quotient`` collapsing the survey to canonical vertex classes.
 
+``sweep`` and ``census`` also take the fault-tolerant runtime flags
+(``--checkpoint DIR``, ``--resume``, ``--deadline SECONDS``,
+``--max-retries N``) which route the survey through
+:mod:`repro.runtime` — checkpointed batches, supervised workers, budget
+stops; see ``docs/robustness.md``.  Exit codes: 0 success, 1 verification
+failure, 2 usage error, 3 budget stop (resumable), 130 interrupted.
+
 The CLI is a thin veneer over the library; every command prints exactly what
 the corresponding example/benchmark computes.
 """
@@ -115,6 +122,48 @@ def _add_restriction_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--max-failures", type=int, default=None, help="cap the number of crashes below t"
+    )
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume and budget flags shared by ``sweep`` and ``census``."""
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory: save resumable progress after every batch "
+        "(atomic, checksummed, rotated writes) and enable --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest valid checkpoint in --checkpoint",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the run checkpoints and exits 3 (resumable)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-chunk retry budget of the supervised executor (default 2)",
+    )
+
+
+def _resilient_requested(args: argparse.Namespace) -> bool:
+    """Whether any runtime flag routes the command through repro.runtime."""
+    return args.checkpoint is not None or args.resume or args.deadline is not None
+
+
+def _stopped_message(args: argparse.Namespace, outcome) -> str:
+    hint = f" --checkpoint {args.checkpoint} --resume" if args.checkpoint else ""
+    return (
+        f"stopped at cursor {outcome.cursor} ({outcome.stop_reason}); "
+        f"progress checkpointed — rerun with{hint or ' --checkpoint DIR'} to continue"
     )
 
 
@@ -287,6 +336,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_failures=args.max_failures,
         limit=args.limit,
     )
+    if _resilient_requested(args):
+        return _sweep_resilient(args, protocol, space, context)
     start = time.perf_counter()
     report = check_protocol(
         protocol,
@@ -313,6 +364,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if report.runs_checked == 0:
         # An exhaustive-verification command must not succeed vacuously
         # (e.g. a negative --max-failures empties the space).
+        print("no adversaries were enumerated — nothing was verified; check the restriction flags")
+        return 2
+    return 0 if report.ok else 1
+
+
+def _sweep_resilient(args: argparse.Namespace, protocol, space, context: Context) -> int:
+    """The checkpointed/supervised sweep path behind the runtime flags."""
+    from .runtime import (
+        CheckpointError,
+        CheckpointStore,
+        FaultPlan,
+        RunReport,
+        SupervisionPolicy,
+        resilient_check,
+    )
+
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint DIR")
+        return 2
+    # REPRO_FAULTS (a FaultPlan JSON document) activates deterministic fault
+    # injection on a real CLI run — the chaos CI job drives this path.
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        faults.install()
+    events = RunReport()
+    store = CheckpointStore(args.checkpoint, faults=faults) if args.checkpoint else None
+    policy = SupervisionPolicy(max_retries=args.max_retries, faults=faults)
+    start = time.perf_counter()
+    try:
+        outcome = resilient_check(
+            protocol,
+            space,
+            context.t,
+            symmetry=args.symmetry,
+            engine=args.engine,
+            processes=args.processes,
+            store=store,
+            resume=args.resume,
+            policy=policy,
+            deadline_seconds=args.deadline,
+            report=events,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}")
+        return 2
+    elapsed = time.perf_counter() - start
+    report = outcome.value
+    rate = report.runs_checked / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"sweep of {protocol.name} over n={args.n}, t={args.t}, k={args.k} "
+        f"({args.receiver_policy} deliveries): {report.runs_checked} adversaries"
+        + (f" (resumed from cursor {outcome.resumed_from})" if outcome.resumed_from else "")
+    )
+    print(report.summary())
+    print(
+        f"engine={args.engine}, symmetry={args.symmetry}, "
+        f"{elapsed:.2f}s ({rate:,.0f} adversaries/s)"
+    )
+    print(events.summary())
+    if report.violations:
+        for index, violation in report.violations[:10]:
+            print(f"  adversary #{index}: {violation}")
+    if not outcome.completed:
+        print(_stopped_message(args, outcome))
+        return 3
+    if report.runs_checked == 0:
         print("no adversaries were enumerated — nothing was verified; check the restriction flags")
         return 2
     return 0 if report.ok else 1
@@ -405,6 +522,8 @@ def cmd_census(args: argparse.Namespace) -> int:
         context, time=args.time, engine=args.engine, processes=args.processes
     )
     build_elapsed = time.perf_counter() - build_start
+    if _resilient_requested(args):
+        return _census_resilient(args, pc, context, backend, build_elapsed)
     survey_start = time.perf_counter()
     census = capacity_connectivity_census(
         pc, context.k, symmetry=args.symmetry, backend=backend
@@ -429,6 +548,72 @@ def cmd_census(args: argparse.Namespace) -> int:
         f"  survey: {census.classes} classes, {census.homology_runs} homology "
         f"runs in {survey_elapsed:.2f}s"
     )
+    holds = census.consistent == census.high_capacity
+    print(f"  Proposition 2 (capacity >= k ⇒ (k-1)-connected star): {'OK' if holds else 'VIOLATED'}")
+    return 0 if holds else 1
+
+
+def _census_resilient(
+    args: argparse.Namespace, pc, context: Context, backend: str, build_elapsed: float
+) -> int:
+    """The checkpointed census path behind the runtime flags.
+
+    The complex itself is rebuilt on every invocation (it is the cheap part
+    relative to the homology survey at scale); the checkpoint cursor indexes
+    the canonical class stream of the survey.
+    """
+    from .runtime import CheckpointError, CheckpointStore, FaultPlan, RunReport, resilient_census
+
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint DIR")
+        return 2
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        faults.install()
+    events = RunReport()
+    store = CheckpointStore(args.checkpoint, faults=faults) if args.checkpoint else None
+    survey_start = time.perf_counter()
+    try:
+        outcome = resilient_census(
+            pc,
+            context.k,
+            symmetry=args.symmetry,
+            backend=backend,
+            spec_extra={"n": args.n, "t": args.t, "engine": args.engine},
+            store=store,
+            resume=args.resume,
+            deadline_seconds=args.deadline,
+            report=events,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}")
+        return 2
+    survey_elapsed = time.perf_counter() - survey_start
+    census = outcome.value
+    complex_ = pc.complex
+    print(
+        f"Proposition 2 census over n={args.n}, t={args.t}, k={args.k}, m={args.time} "
+        f"(backend={backend}, symmetry={args.symmetry})"
+        + (f" (resumed from cursor {outcome.resumed_from})" if outcome.resumed_from else "")
+    )
+    print(
+        f"  complex: {complex_.vertex_count} vertices, "
+        f"{len(complex_.facet_masks)} facets, dim {complex_.dimension} "
+        f"(built in {build_elapsed:.2f}s, engine={args.engine})"
+    )
+    print(f"  vertices             : {census.vertices}")
+    print(f"  capacity >= k        : {census.high_capacity}")
+    print(f"  ... with (k-1)-conn. : {census.consistent}")
+    print(f"  (k-1)-connected stars: {census.connected_stars}")
+    print(f"  ... with capacity>=k : {census.connected_high}")
+    print(
+        f"  survey: {census.classes} classes, {census.homology_runs} homology "
+        f"runs in {survey_elapsed:.2f}s"
+    )
+    print("  " + events.summary())
+    if not outcome.completed:
+        print("  " + _stopped_message(args, outcome))
+        return 3
     holds = census.consistent == census.high_capacity
     print(f"  Proposition 2 (capacity >= k ⇒ (k-1)-connected star): {'OK' if holds else 'VIOLATED'}")
     return 0 if holds else 1
@@ -490,6 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="truncate the adversary stream (smoke runs)"
     )
     _add_symmetry_argument(sweep_parser)
+    _add_runtime_arguments(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     count_parser = subparsers.add_parser(
@@ -544,16 +730,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiprocessing workers, >= 1 (batch engine only)",
     )
     _add_symmetry_argument(census_parser)
+    _add_runtime_arguments(census_parser)
     census_parser.set_defaults(func=cmd_census)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for the console script."""
+    """Entry point for the console script.
+
+    Exit codes: 0 success, 1 verification failure, 2 usage error, 3 budget
+    stop (progress checkpointed, resumable), 130 interrupted (Ctrl-C; pool
+    workers are torn down by the executors' ``finally`` blocks and the last
+    completed batch is already checkpointed when ``--checkpoint`` is given).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print(
+            "interrupted — workers terminated; partial progress is checkpointed "
+            "where --checkpoint was given (rerun with --resume)",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -34,7 +34,13 @@ engine to the oracle.
 """
 
 from .arrays import ArrayView, BatchContext, StructLayer
-from .fused import FusedOutcome, run_facets_pass, run_fused_pass, struct_view_key
+from .fused import (
+    FusedOutcome,
+    resolve_mp_context,
+    run_facets_pass,
+    run_fused_pass,
+    struct_view_key,
+)
 from .sweep import (
     ENGINES,
     BatchRun,
@@ -65,6 +71,7 @@ __all__ = [
     "ViewSource",
     "batch_system_size",
     "prepare_adversaries",
+    "resolve_mp_context",
     "run_facets_pass",
     "run_fused_pass",
     "run_one",

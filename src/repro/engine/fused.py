@@ -287,14 +287,35 @@ def _plan_chunks(
     return ranges
 
 
-def _pool_context(mp_context: Optional[str]):
-    """Resolve the multiprocessing context (``fork`` default, platform fallback)."""
-    import multiprocessing
+def resolve_mp_context(mp_context: Optional[str] = None):
+    """Resolve the multiprocessing start method explicitly.
 
-    try:
-        return multiprocessing.get_context(mp_context or "fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
+    An explicit ``mp_context`` always wins (``ValueError`` if the platform
+    lacks it — better than silently running a different method than the
+    caller's tests pinned).  The ``None`` default is resolved here, once,
+    instead of leaning on :func:`multiprocessing.get_context`'s
+    platform-dependent default: ``fork`` is chosen only when the platform
+    offers it **and** the parent is single-threaded.  Forking a
+    multi-threaded process copies other threads' locks in an undefined
+    state — CPython 3.12 deprecated it (``DeprecationWarning``) and 3.14
+    switches the Linux default to ``forkserver`` for exactly that reason —
+    so threaded parents (e.g. a future HTTP service layer driving sweeps)
+    get ``spawn``, which the engine already supports end to end: worker
+    inputs ship through the pool initializer and every payload survives
+    real pickling (``tests/test_fused_scheduler.py``).  Single-threaded
+    CLI/batch parents keep fork's cheap copy-on-write input inheritance.
+    """
+    import multiprocessing
+    import threading
+
+    if mp_context:
+        return multiprocessing.get_context(mp_context)
+    if (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    ):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 
 #: This worker process's pass inputs, installed by the pool initializer.
@@ -313,7 +334,7 @@ def _init_worker_inputs(inputs) -> None:
     _WORKER_INPUTS = inputs
 
 
-def _run_sharded(worker, inputs, ranges, processes, mp_context):
+def _run_sharded(worker, inputs, ranges, processes, mp_context, supervision=None, report=None):
     """Map contiguous index ranges over a pool that owns ``inputs``.
 
     The one executor both sharded passes use; returns the per-chunk results
@@ -321,14 +342,41 @@ def _run_sharded(worker, inputs, ranges, processes, mp_context):
     chunk-local positions while merging.  Never spawns more workers than
     there are chunks — an idle worker still pays interpreter startup and (on
     spawn contexts) a full pickled copy of the inputs.
+
+    With ``supervision`` set (a :class:`repro.runtime.SupervisionPolicy`)
+    the chunks run on the supervised executor instead of a bare ``Pool``:
+    per-chunk timeouts, bounded retry with backoff, dead-worker detection
+    and respawn, quarantine and serial degradation — recovery events land
+    on ``report``.  Either way the per-chunk payloads come back in range
+    order, so the merge identity is executor-independent.
     """
-    context = _pool_context(mp_context)
-    with context.Pool(
-        processes=min(processes, len(ranges)),
-        initializer=_init_worker_inputs,
-        initargs=(inputs,),
-    ) as pool:
+    context = resolve_mp_context(mp_context)
+    workers = min(processes, len(ranges))
+    if supervision is not None:
+        from ..runtime.supervisor import run_supervised
+
+        payloads = run_supervised(
+            worker,
+            ranges,
+            context=context,
+            processes=workers,
+            initializer=_init_worker_inputs,
+            initargs=(inputs,),
+            policy=supervision,
+            report=report,
+        )
+        return list(zip(ranges, payloads))
+    pool = context.Pool(
+        processes=workers, initializer=_init_worker_inputs, initargs=(inputs,)
+    )
+    try:
         return list(zip(ranges, pool.map(worker, ranges)))
+    finally:
+        # terminate() (not close()) so an exception mid-map — including
+        # KeyboardInterrupt — tears the workers down instead of leaking
+        # them; join() so they are reaped before the parent moves on.
+        pool.terminate()
+        pool.join()
 
 
 def _fused_chunk(bounds) -> Tuple[List[RawOutcome], int, Optional[ViewIndex]]:
@@ -349,16 +397,20 @@ def run_fused_pass(
     chunk_size: Optional[int] = None,
     mp_context: Optional[str] = None,
     collect_views: bool = True,
+    supervision=None,
+    report=None,
 ) -> FusedOutcome:
     """One fused pass over a family, serial or sharded across workers.
 
     The parallel executor fans contiguous chunks out to a ``multiprocessing``
     pool; each worker returns its pickled ``(decisions, layer snapshot)``
     payload and the parent merges them by offsetting chunk-local positions.
-    ``mp_context`` selects the start method (``"fork"`` by default; the spawn
-    path is exercised by the pickling tests).  Chunk sizing is auto-tuned by
-    :func:`_plan_chunks`: families too small to amortise the pool run on the
-    serial core even when ``processes >= 2`` is requested.
+    ``mp_context`` selects the start method (see :func:`resolve_mp_context`
+    for the explicit default; the spawn path is exercised by the pickling
+    tests).  Chunk sizing is auto-tuned by :func:`_plan_chunks`: families
+    too small to amortise the pool run on the serial core even when
+    ``processes >= 2`` is requested.  ``supervision`` / ``report`` select
+    the supervised executor (see :func:`_run_sharded`).
     """
     if processes is None or processes <= 1 or len(adversaries) <= 1:
         return fused_serial(protocol, adversaries, t, horizon, n, collect_views)
@@ -371,6 +423,8 @@ def run_fused_pass(
         ranges,
         processes,
         mp_context,
+        supervision=supervision,
+        report=report,
     )
     raw: List[RawOutcome] = []
     layers = 0
@@ -447,6 +501,8 @@ def run_facets_pass(
     processes: Optional[int] = None,
     chunk_size: Optional[int] = None,
     mp_context: Optional[str] = None,
+    supervision=None,
+    report=None,
 ) -> FacetPayload:
     """The facet payload of a family, serial or sharded across workers.
 
@@ -463,7 +519,13 @@ def run_facets_pass(
     if ranges is None:
         return facet_groups(adversaries, t, time)
     chunk_results = _run_sharded(
-        _facets_chunk, (adversaries, t, time), ranges, processes, mp_context
+        _facets_chunk,
+        (adversaries, t, time),
+        ranges,
+        processes,
+        mp_context,
+        supervision=supervision,
+        report=report,
     )
     table: List[FacetVertex] = []
     table_index: Dict[FacetVertex, int] = {}

@@ -223,10 +223,20 @@ class SweepRunner:
         ``2 × processes`` contiguous chunks, preserving enumeration-order
         prefix locality).
     mp_context:
-        ``multiprocessing`` start method for the executor (``"fork"`` where
-        available by default; ``"spawn"`` requires every payload — protocol,
+        ``multiprocessing`` start method for the executor (resolved
+        explicitly by :func:`repro.engine.fused.resolve_mp_context`:
+        ``"fork"`` for single-threaded parents where available, ``"spawn"``
+        otherwise; ``"spawn"`` requires every payload — protocol,
         adversaries, decisions, view keys — to survive real pickling, which
         the fused-payload tests exercise).
+    supervision:
+        A :class:`repro.runtime.SupervisionPolicy` to run sharded passes on
+        the supervised executor (per-chunk timeouts, bounded retry with
+        backoff, dead-worker respawn, quarantine, serial degradation)
+        instead of a bare pool; ``None`` (default) keeps the bare pool.
+    runtime_report:
+        The :class:`repro.runtime.RunReport` recovery events are recorded
+        on when ``supervision`` is set.
     """
 
     def __init__(
@@ -237,6 +247,8 @@ class SweepRunner:
         processes: Optional[int] = None,
         chunk_size: Optional[int] = None,
         mp_context: Optional[str] = None,
+        supervision=None,
+        runtime_report=None,
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
@@ -248,6 +260,8 @@ class SweepRunner:
         self.processes = processes
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.supervision = supervision
+        self.runtime_report = runtime_report
         self.last_report: Optional[SweepReport] = None
 
     # ------------------------------------------------------------------ sweeps
@@ -300,6 +314,8 @@ class SweepRunner:
             chunk_size=self.chunk_size,
             mp_context=self.mp_context,
             collect_views=collect_views,
+            supervision=self.supervision,
+            report=self.runtime_report,
         )
         runs = [
             BatchRun(self.protocol, batch[pos], self.t, horizon, decisions, pos, stop_time)

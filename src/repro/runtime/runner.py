@@ -1,0 +1,431 @@
+"""Resilient survey runners: checkpointed, supervised, budgeted sweeps.
+
+The execution layer the CLI's ``sweep --checkpoint`` / ``census
+--checkpoint`` run on, and the stepping stone to the survey-as-a-service
+store: each runner drives a *deterministic* stream (the constructive orbit
+stream of a :class:`repro.adversaries.RestrictedSpace`, a plain enumeration,
+or the canonical-class stream of a built protocol complex) in batches,
+folding each batch into the aggregate a consumer already knows
+(:class:`repro.verification.checker.CheckReport`,
+:class:`repro.topology.protocol_complex.CapacityCensus`) and flushing an
+atomic checkpoint after every batch.  Because the streams replay
+identically from their specs, a resumed run folds exactly the items an
+uninterrupted run would have folded, in the same order — results are
+byte-identical (``tests/test_resilience.py`` pins interrupted-at-every-
+batch-boundary == uninterrupted).
+
+Budgets turn hard death into checkpoint-and-stop: a wall-clock
+``deadline_seconds`` and a peak-RSS ``max_rss_kb`` are checked at batch
+boundaries (and the deadline also bounds the supervised pool mid-batch);
+when either trips, the runner flushes its checkpoint, records the stop on
+the :class:`RunReport`, and returns a partial :class:`ResilientOutcome`
+with ``completed=False`` — resume later with the same spec.
+
+``KeyboardInterrupt`` gets the same treatment (flush, record, re-raise),
+which is what lets the CLI exit 130 with a resumable run on disk instead of
+leaking pool workers and three hours of work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import resource
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .report import RunReport
+from .supervisor import DeadlineExceeded, SupervisionPolicy
+
+#: Stream items folded between checkpoint flushes.  Large enough that the
+#: trie keeps its prefix sharing inside one sweep call (smaller batches
+#: measurably re-compute shared round prefixes across batch boundaries) and
+#: the atomic-write cost stays <5% (gated by
+#: ``benchmarks/bench_resilience.py``), small enough that an interrupted
+#: hour-scale survey loses minutes, not hours.
+DEFAULT_BATCH_SIZE = 8192
+
+
+def peak_rss_kb() -> int:
+    """This process's peak RSS in KiB (``ru_maxrss`` is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak // 1024 if sys.platform == "darwin" else peak
+
+
+@dataclass(frozen=True)
+class ResilientOutcome:
+    """What a resilient runner produced — possibly a checkpointed prefix.
+
+    ``value`` is the consumer aggregate (``CheckReport`` / ``CapacityCensus``)
+    over the ``cursor`` stream items folded so far; ``completed`` says whether
+    that is the whole stream.  ``stop_reason`` is ``None`` on completion, else
+    ``"deadline"`` or ``"rss"``; ``resumed_from`` is the checkpoint cursor the
+    run started at (``None`` for a fresh run).
+    """
+
+    value: Any
+    report: RunReport
+    completed: bool
+    stop_reason: Optional[str]
+    cursor: int
+    resumed_from: Optional[int]
+
+
+class _BudgetGovernor:
+    """Shared deadline/RSS bookkeeping of one resilient run."""
+
+    def __init__(
+        self, deadline_seconds: Optional[float], max_rss_kb: Optional[int], report: RunReport
+    ) -> None:
+        self.deadline = (
+            time.monotonic() + deadline_seconds if deadline_seconds is not None else None
+        )
+        self.max_rss_kb = max_rss_kb
+        self.report = report
+
+    def arm(self, policy: Optional[SupervisionPolicy]) -> Optional[SupervisionPolicy]:
+        """Give the supervised pool the same absolute deadline (mid-batch aborts)."""
+        if policy is None or self.deadline is None or policy.deadline is not None:
+            return policy
+        return replace(policy, deadline=self.deadline)
+
+    def stop_reason(self, cursor: int) -> Optional[str]:
+        """The budget that tripped at this batch boundary, if any."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self.report.record("deadline_stop", cursor=cursor)
+            return "deadline"
+        if self.max_rss_kb is not None and peak_rss_kb() > self.max_rss_kb:
+            self.report.record("rss_stop", cursor=cursor, peak_rss_kb=peak_rss_kb())
+            return "rss"
+        return None
+
+
+def _batched(stream: Iterator, size: int) -> Iterator[List]:
+    while True:
+        batch = list(itertools.islice(stream, size))
+        if not batch:
+            return
+        yield batch
+
+
+def _resume_cursor(
+    store: Optional[CheckpointStore],
+    resume: bool,
+    spec: Dict[str, Any],
+    report: RunReport,
+) -> Tuple[int, Optional[Dict[str, Any]], Optional[int]]:
+    """(cursor, payload, resumed_from) off the newest valid checkpoint."""
+    if store is None or not resume:
+        return 0, None, None
+    checkpoint = store.latest(spec=spec)
+    if checkpoint is None:
+        return 0, None, None
+    report.record("resume", cursor=checkpoint.cursor)
+    return checkpoint.cursor, checkpoint.payload, checkpoint.cursor
+
+
+# --------------------------------------------------------------- checker runs
+def _checker_stream(space, symmetry: str) -> Iterator[Tuple[int, Any, int]]:
+    """The deterministic ``(index, adversary, weight)`` stream of a space.
+
+    ``symmetry="constructive"`` generates canonical representatives (orbit
+    weights); ``"quotient"`` streams the hash-dedup orbit front (the oracle
+    ordering); ``"none"`` streams every member with weight 1.  All three
+    replay identically from the space description, which is what makes the
+    cursor meaningful across process lifetimes.
+    """
+    if symmetry in ("constructive", "quotient"):
+        mode = "constructive" if symmetry == "constructive" else "dedup"
+        for index, orbit in enumerate(space.orbits(symmetry=mode)):
+            yield index, orbit.representative, orbit.size
+    elif symmetry == "none":
+        for index, adversary in enumerate(space):
+            yield index, adversary, 1
+    else:  # pragma: no cover - validated upstream
+        raise ValueError(f"unknown symmetry {symmetry!r}")
+
+
+def checker_spec(
+    protocol, space, t: int, symmetry: str, engine: str, enforce_paper_bound: bool
+) -> Dict[str, Any]:
+    """The stream-identity spec a checker checkpoint must match to resume."""
+    context = space.context
+    return {
+        "kind": "check",
+        "schema_note": "cursor counts stream items (orbits or adversaries)",
+        "protocol": getattr(protocol, "name", type(protocol).__name__),
+        "n": context.n,
+        "t": t,
+        "k": context.k,
+        "max_crash_round": space.max_crash_round,
+        "receiver_policy": space.receiver_policy,
+        "max_failures": space.max_failures,
+        "limit": space.limit,
+        "symmetry": symmetry,
+        "engine": engine,
+        "enforce_paper_bound": enforce_paper_bound,
+    }
+
+
+def _check_report_payload(report) -> Dict[str, Any]:
+    """Serialize a ``CheckReport`` losslessly (order-preserving histogram)."""
+    return {
+        "runs_checked": report.runs_checked,
+        "max_decision_time": report.max_decision_time,
+        "histogram": [[time_, count] for time_, count in report.decision_time_histogram.items()],
+        "violations": [
+            [index, violation.property_name, violation.message, violation.process]
+            for index, violation in report.violations
+        ],
+    }
+
+
+def _check_report_from_payload(protocol_name: str, payload: Dict[str, Any]):
+    from ..verification.checker import CheckReport
+    from ..verification.properties import Violation
+
+    report = CheckReport(protocol=protocol_name)
+    report.runs_checked = payload["runs_checked"]
+    report.max_decision_time = payload["max_decision_time"]
+    report.decision_time_histogram = {time_: count for time_, count in payload["histogram"]}
+    report.violations = [
+        (index, Violation(property_name, message, process))
+        for index, property_name, message, process in payload["violations"]
+    ]
+    return report
+
+
+def resilient_check(
+    protocol,
+    space,
+    t: Optional[int] = None,
+    *,
+    symmetry: str = "constructive",
+    engine: str = "batch",
+    processes: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    store: Optional[CheckpointStore] = None,
+    resume: bool = False,
+    policy: Optional[SupervisionPolicy] = None,
+    deadline_seconds: Optional[float] = None,
+    max_rss_kb: Optional[int] = None,
+    enforce_paper_bound: bool = True,
+    report: Optional[RunReport] = None,
+) -> ResilientOutcome:
+    """Checkpointed, supervised :func:`repro.verification.check_protocol`.
+
+    ``space`` must be a :class:`repro.adversaries.RestrictedSpace` (the spec
+    that makes the stream replayable).  A completed outcome's ``value`` is
+    the same :class:`CheckReport` the plain ``symmetry="constructive"``
+    checker path produces over the space.
+    """
+    from ..engine import SweepRunner, validate_engine_choice
+    from ..model.run import Run
+    from ..symmetry import validate_symmetry_choice
+    from ..verification.properties import check_run_for_protocol
+
+    validate_engine_choice(engine, processes)
+    validate_symmetry_choice(symmetry)
+    if t is None:
+        t = space.context.t
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    report = report if report is not None else RunReport()
+    if store is not None and store.report is None:
+        store.report = report
+    governor = _BudgetGovernor(deadline_seconds, max_rss_kb, report)
+    policy = governor.arm(policy)
+
+    spec = checker_spec(protocol, space, t, symmetry, engine, enforce_paper_bound)
+    protocol_name = getattr(protocol, "name", "protocol")
+    cursor, payload, resumed_from = _resume_cursor(store, resume, spec, report)
+    aggregate = (
+        _check_report_from_payload(protocol_name, payload)
+        if payload is not None
+        else _check_report_from_payload(protocol_name, _EMPTY_CHECK_PAYLOAD)
+    )
+
+    runner = None
+    if engine == "batch":
+        runner = SweepRunner(
+            protocol,
+            t,
+            processes=processes,
+            chunk_size=chunk_size,
+            mp_context=mp_context,
+            supervision=policy,
+            runtime_report=report,
+        )
+
+    stream = itertools.islice(_checker_stream(space, symmetry), cursor, None)
+    stop_reason = None
+    completed = False
+    # Checkpoints always describe a batch *boundary*: the payload snapshot is
+    # taken right after a batch finishes folding, so a mid-batch interrupt
+    # flushes the last boundary state, never a partially-folded aggregate
+    # (which would double-count the partial batch on resume).
+    boundary_payload = _check_report_payload(aggregate)
+
+    def flush() -> None:
+        if store is not None:
+            store.save(Checkpoint(spec=spec, cursor=cursor, payload=boundary_payload))
+
+    try:
+        for batch in _batched(stream, batch_size):
+            representatives = [adversary for _index, adversary, _weight in batch]
+            if runner is not None:
+                runs = runner.sweep(representatives)
+            else:
+                runs = [Run(protocol, adversary, t) for adversary in representatives]
+            for (index, _adversary, weight), run in zip(batch, runs):
+                aggregate.record(
+                    index, run, check_run_for_protocol(run, enforce_paper_bound), weight=weight
+                )
+            cursor += len(batch)
+            boundary_payload = _check_report_payload(aggregate)
+            flush()
+            stop_reason = governor.stop_reason(cursor)
+            if stop_reason is not None:
+                break
+        else:
+            completed = True
+    except DeadlineExceeded:
+        # Mid-batch deadline abort from the supervised pool: the aggregate is
+        # still at the last batch boundary, which is exactly what we flush.
+        report.record("deadline_stop", cursor=cursor, mid_batch=True)
+        stop_reason = "deadline"
+        flush()
+    except KeyboardInterrupt:
+        report.record("interrupt", cursor=cursor)
+        flush()
+        raise
+    return ResilientOutcome(aggregate, report, completed, stop_reason, cursor, resumed_from)
+
+
+_EMPTY_CHECK_PAYLOAD: Dict[str, Any] = {
+    "runs_checked": 0,
+    "max_decision_time": 0,
+    "histogram": [],
+    "violations": [],
+}
+
+
+# ---------------------------------------------------------------- census runs
+def census_spec(pc, k: int, symmetry: str, backend: str, extra: Optional[Dict] = None) -> Dict:
+    """The stream-identity spec of a census run.
+
+    The class stream is derived from the built complex, so the spec
+    fingerprints the complex (vertex/facet counts, round count) alongside
+    the survey knobs; ``extra`` lets the CLI add the build description
+    (context and engine) for defence in depth.
+    """
+    spec = {
+        "kind": "census",
+        "schema_note": "cursor counts canonical vertex classes",
+        "k": k,
+        "symmetry": symmetry,
+        "backend": backend,
+        "time": pc.time,
+        "vertices": pc.complex.vertex_count,
+        "facets": len(pc.complex.facet_masks),
+    }
+    if extra:
+        spec.update(extra)
+    return spec
+
+
+def resilient_census(
+    pc,
+    k: int,
+    *,
+    symmetry: str = "quotient",
+    backend: Optional[str] = None,
+    spec_extra: Optional[Dict[str, Any]] = None,
+    batch_size: int = 64,
+    store: Optional[CheckpointStore] = None,
+    resume: bool = False,
+    deadline_seconds: Optional[float] = None,
+    max_rss_kb: Optional[int] = None,
+    report: Optional[RunReport] = None,
+) -> ResilientOutcome:
+    """Checkpointed :func:`repro.topology.capacity_connectivity_census`.
+
+    The class stream and the per-class fold are shared with the plain census
+    (:func:`repro.topology.protocol_complex.census_classes`), so a completed
+    outcome's census *row* is byte-identical to the uninterrupted survey's.
+    ``homology_runs`` counts profiles computed in *this* process — a resumed
+    run re-misses its connectivity cache, so that bookkeeping field (and
+    only it) may exceed the uninterrupted run's.
+    """
+    from ..topology.connectivity import DEFAULT_HOMOLOGY_BACKEND
+    from ..topology.protocol_complex import (
+        CapacityCensus,
+        census_classes,
+        vertex_capacity,
+    )
+
+    if backend is None:
+        backend = DEFAULT_HOMOLOGY_BACKEND
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    report = report if report is not None else RunReport()
+    if store is not None and store.report is None:
+        store.report = report
+    governor = _BudgetGovernor(deadline_seconds, max_rss_kb, report)
+
+    groups, profile, cache = census_classes(pc, k, symmetry=symmetry, backend=backend)
+    spec = census_spec(pc, k, symmetry, backend, spec_extra)
+    spec["classes"] = len(groups)
+    cursor, payload, resumed_from = _resume_cursor(store, resume, spec, report)
+    counters = list(payload["counters"]) if payload is not None else [0, 0, 0, 0, 0]
+    homology_runs = payload["homology_runs"] if payload is not None else 0
+
+    # Snapshot taken at batch boundaries only — a mid-batch interrupt must
+    # not flush partially-updated counters against a boundary cursor.
+    boundary_payload = {"counters": list(counters), "homology_runs": homology_runs}
+
+    def flush() -> None:
+        if store is not None:
+            store.save(Checkpoint(spec=spec, cursor=cursor, payload=boundary_payload))
+
+    def outcome(completed: bool, stop_reason: Optional[str]) -> ResilientOutcome:
+        census = CapacityCensus(*counters, classes=len(groups), homology_runs=homology_runs)
+        return ResilientOutcome(census, report, completed, stop_reason, cursor, resumed_from)
+
+    stop_reason = None
+    misses_before = cache.misses if cache is not None else 0
+    try:
+        while cursor < len(groups):
+            batch = groups[cursor : cursor + batch_size]
+            for representative, weight in batch:
+                capacity = vertex_capacity(representative)
+                level = profile(pc.complex.star(representative))
+                counters[0] += weight
+                if capacity >= k:
+                    counters[1] += weight
+                    if level >= k - 1:
+                        counters[2] += weight
+                if level >= k - 1:
+                    counters[3] += weight
+                    if capacity >= k:
+                        counters[4] += weight
+            cursor += len(batch)
+            if cache is not None:
+                homology_runs += cache.misses - misses_before
+                misses_before = cache.misses
+            else:
+                homology_runs += len(batch)
+            boundary_payload = {"counters": list(counters), "homology_runs": homology_runs}
+            flush()
+            stop_reason = governor.stop_reason(cursor)
+            if stop_reason is not None:
+                return outcome(False, stop_reason)
+    except KeyboardInterrupt:
+        report.record("interrupt", cursor=cursor)
+        flush()
+        raise
+    return outcome(True, None)

@@ -34,6 +34,7 @@ from .protocol_complex import (
     build_protocol_complex,
     build_restricted_complex,
     capacity_connectivity_census,
+    census_classes,
     per_round_crash_patterns,
     vertex_capacity,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "build_protocol_complex",
     "build_restricted_complex",
     "capacity_connectivity_census",
+    "census_classes",
     "census",
     "coloring_from_decisions",
     "connectivity_profile",

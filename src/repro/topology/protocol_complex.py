@@ -135,6 +135,69 @@ class CapacityCensus:
         )
 
 
+def census_classes(
+    pc: ProtocolComplex,
+    k: int,
+    symmetry: str = "none",
+    backend: Optional[str] = None,
+):
+    """The deterministic class stream a Proposition 2 census folds over.
+
+    Returns ``(groups, profile, cache)``: ``groups`` is the materialised
+    list of ``(representative_vertex, weight)`` pairs in the census's fold
+    order (every vertex with weight 1 for ``symmetry="none"``; one canonical
+    view-key class representative with the class size for the quotient /
+    constructive paths), ``profile`` maps a star to its connectivity level
+    ``max_q = k - 1``, and ``cache`` is the backing
+    :class:`repro.topology.connectivity.ConnectivityCache` (``None`` on the
+    exhaustive path).
+
+    Exposed separately from :func:`capacity_connectivity_census` so the
+    resilient runtime (:func:`repro.runtime.resilient_census`) can fold the
+    same stream in checkpointed batches: a checkpoint cursor is an index
+    into ``groups``, which is why the list order must be deterministic — it
+    follows ``pc.vertex_views`` generation order (first-seen order of the
+    canonical classes on the symmetry paths).
+    """
+    from ..symmetry import canonical_view_key, validate_symmetry_choice
+    from .connectivity import DEFAULT_HOMOLOGY_BACKEND, validate_homology_backend
+
+    validate_symmetry_choice(symmetry)
+    if backend is None:
+        backend = DEFAULT_HOMOLOGY_BACKEND
+    validate_homology_backend(backend)
+    cache = None
+    if symmetry == "none":
+        from .connectivity import connectivity_profile
+
+        groups: List[Tuple[ComplexVertex, int]] = [
+            (vertex, 1) for vertex in pc.vertex_views
+        ]
+        profile = lambda star: connectivity_profile(  # noqa: E731
+            star, max_q=k - 1, backend=backend
+        )
+    else:
+        from ..symmetry import renaming_star_signature
+        from .connectivity import ConnectivityCache
+
+        grouped: Dict[Tuple, List[ComplexVertex]] = {}
+        for vertex in pc.vertex_views:
+            grouped.setdefault(canonical_view_key(vertex[1]), []).append(vertex)
+        for members in grouped.values():
+            facet_counts = {pc.complex.star_facet_count(member) for member in members}
+            if len(facet_counts) > 1:
+                raise ValueError(
+                    f"capacity_connectivity_census(symmetry={symmetry!r}) requires "
+                    "a family closed under process renaming: vertices of one "
+                    "canonical class have stars of different sizes "
+                    f"({sorted(facet_counts)} facets) in this complex"
+                )
+        groups = [(members[0], len(members)) for members in grouped.values()]
+        cache = ConnectivityCache(signature=renaming_star_signature, backend=backend)
+        profile = lambda star: cache.profile(star, max_q=k - 1)  # noqa: E731
+    return groups, profile, cache
+
+
 def capacity_connectivity_census(
     pc: ProtocolComplex,
     k: int,
@@ -177,44 +240,8 @@ def capacity_connectivity_census(
     cannot catch every violation (equal counts, different homology), which
     is why closure remains a documented requirement.
     """
-    from ..symmetry import canonical_view_key, validate_symmetry_choice
-    from .connectivity import DEFAULT_HOMOLOGY_BACKEND, validate_homology_backend
-
-    validate_symmetry_choice(symmetry)
-    if backend is None:
-        backend = DEFAULT_HOMOLOGY_BACKEND
-    validate_homology_backend(backend)
-    cache = None
-    if symmetry == "none":
-        from .connectivity import connectivity_profile
-
-        groups: Iterable[Tuple[ComplexVertex, int]] = (
-            (vertex, 1) for vertex in pc.vertex_views
-        )
-        classes = len(pc.vertex_views)
-        profile = lambda star: connectivity_profile(  # noqa: E731
-            star, max_q=k - 1, backend=backend
-        )
-    else:
-        from ..symmetry import renaming_star_signature
-        from .connectivity import ConnectivityCache
-
-        grouped: Dict[Tuple, List[ComplexVertex]] = {}
-        for vertex in pc.vertex_views:
-            grouped.setdefault(canonical_view_key(vertex[1]), []).append(vertex)
-        for members in grouped.values():
-            facet_counts = {pc.complex.star_facet_count(member) for member in members}
-            if len(facet_counts) > 1:
-                raise ValueError(
-                    f"capacity_connectivity_census(symmetry={symmetry!r}) requires "
-                    "a family closed under process renaming: vertices of one "
-                    "canonical class have stars of different sizes "
-                    f"({sorted(facet_counts)} facets) in this complex"
-                )
-        groups = ((members[0], len(members)) for members in grouped.values())
-        classes = len(grouped)
-        cache = ConnectivityCache(signature=renaming_star_signature, backend=backend)
-        profile = lambda star: cache.profile(star, max_q=k - 1)  # noqa: E731
+    groups, profile, cache = census_classes(pc, k, symmetry=symmetry, backend=backend)
+    classes = len(groups)
 
     vertices = high = consistent = connected = connected_high = 0
     for representative, weight in groups:
