@@ -27,10 +27,13 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
 
 ``sweep`` and ``census`` also take the fault-tolerant runtime flags
 (``--checkpoint DIR``, ``--resume``, ``--deadline SECONDS``,
-``--max-retries N``) which route the survey through
+``--max-retries N``, ``--store PATH``) which route the survey through
 :mod:`repro.runtime` — checkpointed batches, supervised workers, budget
-stops; see ``docs/robustness.md``.  Exit codes: 0 success, 1 verification
-failure, 2 usage error, 3 budget stop (resumable), 130 interrupted.
+stops, and the durable cross-run result store (``--store``; administered by
+the ``store`` subcommand: ``inspect`` / ``verify`` / ``gc`` / ``export``);
+see ``docs/robustness.md`` and ``docs/store.md``.  Exit codes: 0 success,
+1 verification failure, 2 usage error, 3 budget stop (resumable), 130
+interrupted.
 
 The CLI is a thin veneer over the library; every command prints exactly what
 the corresponding example/benchmark computes.
@@ -152,11 +155,33 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="per-chunk retry budget of the supervised executor (default 2)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="durable result store (SQLite): memoize verdicts/profiles/census "
+        "rows across runs; corrupt rows self-heal, an unusable store degrades "
+        "to pure compute (see docs/store.md)",
+    )
 
 
 def _resilient_requested(args: argparse.Namespace) -> bool:
     """Whether any runtime flag routes the command through repro.runtime."""
-    return args.checkpoint is not None or args.resume or args.deadline is not None
+    return (
+        args.checkpoint is not None
+        or args.resume
+        or args.deadline is not None
+        or args.store is not None
+    )
+
+
+def _result_store(args: argparse.Namespace, faults, events):
+    """The ``--store`` ResultStore (or ``None``), faults and report attached."""
+    if args.store is None:
+        return None
+    from .store import ResultStore
+
+    return ResultStore(args.store, faults=faults, report=events)
 
 
 def _stopped_message(args: argparse.Namespace, outcome) -> str:
@@ -390,6 +415,7 @@ def _sweep_resilient(args: argparse.Namespace, protocol, space, context: Context
         faults.install()
     events = RunReport()
     store = CheckpointStore(args.checkpoint, faults=faults) if args.checkpoint else None
+    result_store = _result_store(args, faults, events)
     policy = SupervisionPolicy(max_retries=args.max_retries, faults=faults)
     start = time.perf_counter()
     try:
@@ -402,6 +428,7 @@ def _sweep_resilient(args: argparse.Namespace, protocol, space, context: Context
             processes=args.processes,
             store=store,
             resume=args.resume,
+            result_store=result_store,
             policy=policy,
             deadline_seconds=args.deadline,
             report=events,
@@ -409,6 +436,9 @@ def _sweep_resilient(args: argparse.Namespace, protocol, space, context: Context
     except CheckpointError as error:
         print(f"checkpoint error: {error}")
         return 2
+    finally:
+        if result_store is not None:
+            result_store.close()
     elapsed = time.perf_counter() - start
     report = outcome.value
     rate = report.runs_checked / elapsed if elapsed > 0 else float("inf")
@@ -423,6 +453,8 @@ def _sweep_resilient(args: argparse.Namespace, protocol, space, context: Context
         f"{elapsed:.2f}s ({rate:,.0f} adversaries/s)"
     )
     print(events.summary())
+    if result_store is not None:
+        print(result_store.summary())
     if report.violations:
         for index, violation in report.violations[:10]:
             print(f"  adversary #{index}: {violation}")
@@ -572,6 +604,7 @@ def _census_resilient(
         faults.install()
     events = RunReport()
     store = CheckpointStore(args.checkpoint, faults=faults) if args.checkpoint else None
+    result_store = _result_store(args, faults, events)
     survey_start = time.perf_counter()
     try:
         outcome = resilient_census(
@@ -582,12 +615,16 @@ def _census_resilient(
             spec_extra={"n": args.n, "t": args.t, "engine": args.engine},
             store=store,
             resume=args.resume,
+            result_store=result_store,
             deadline_seconds=args.deadline,
             report=events,
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}")
         return 2
+    finally:
+        if result_store is not None:
+            result_store.close()
     survey_elapsed = time.perf_counter() - survey_start
     census = outcome.value
     complex_ = pc.complex
@@ -611,12 +648,74 @@ def _census_resilient(
         f"runs in {survey_elapsed:.2f}s"
     )
     print("  " + events.summary())
+    if result_store is not None:
+        print("  " + result_store.summary())
     if not outcome.completed:
         print("  " + _stopped_message(args, outcome))
         return 3
     holds = census.consistent == census.high_capacity
     print(f"  Proposition 2 (capacity >= k ⇒ (k-1)-connected star): {'OK' if holds else 'VIOLATED'}")
     return 0 if holds else 1
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Administer a durable result store: inspect, verify, gc, export."""
+    import os
+
+    from .store import ResultStore
+
+    if args.action != "inspect" and not os.path.exists(args.path):
+        # inspect creating an empty store is harmless; the mutating/reading
+        # admin actions on a missing path are almost certainly a typo.
+        print(f"store {args.path} does not exist")
+        return 2
+    read_only = args.action == "export"
+    store = ResultStore(args.path, read_only=read_only)
+    try:
+        if not store.available:
+            print(f"store {args.path} is unusable: {store.disabled_reason}")
+            return 2
+        if args.action == "inspect":
+            counts = store.counts()
+            print(f"store {counts['path']} (schema {counts['schema']})")
+            for kind, count in counts["kinds"].items():
+                print(f"  {kind:15s}: {count} rows")
+            print(f"  total          : {counts['rows']} rows")
+            print(f"  quarantined    : {counts['quarantined']} rows")
+            if counts.get("bytes") is not None:
+                print(f"  file size      : {counts['bytes']:,} bytes")
+            return 0
+        if args.action == "verify":
+            verdict = store.verify()
+            print(
+                f"verified {verdict['checked']} rows: "
+                f"{verdict['corrupt']} corrupt (quarantined for recompute)"
+            )
+            return 0 if verdict["corrupt"] == 0 else 1
+        if args.action == "gc":
+            before = store.counts()
+            purged = store.gc()["purged"]
+            after_bytes = store.counts().get("bytes")
+            print(
+                f"purged {purged} quarantined rows; "
+                f"{before['rows']} live rows kept"
+                + (f", file now {after_bytes:,} bytes" if after_bytes is not None else "")
+            )
+            return 0
+        # export
+        if args.output is None or args.output == "-":
+            exported = store.export(sys.stdout)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                exported = store.export(handle)
+        print(
+            f"exported {exported} rows"
+            + (f" to {args.output}" if args.output not in (None, "-") else ""),
+            file=sys.stderr,
+        )
+        return 0
+    finally:
+        store.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -732,6 +831,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_symmetry_argument(census_parser)
     _add_runtime_arguments(census_parser)
     census_parser.set_defaults(func=cmd_census)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="administer a durable result store (inspect / verify / gc / export)",
+    )
+    store_parser.add_argument(
+        "action",
+        choices=["inspect", "verify", "gc", "export"],
+        help="inspect: row counts per kind; verify: digest-check every row, "
+        "quarantining corrupt ones; gc: purge the quarantine and VACUUM; "
+        "export: verified rows as deterministic JSONL",
+    )
+    store_parser.add_argument("path", help="the store file (as passed to --store)")
+    store_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="export destination (default stdout)",
+    )
+    store_parser.set_defaults(func=cmd_store)
 
     return parser
 

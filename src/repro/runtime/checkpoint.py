@@ -184,6 +184,26 @@ class CheckpointStore:
         self.report = report
         #: Ordinal of the next save (the fault plan keys sabotage off it).
         self.saves = 0
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove ``.ckpt-*.tmp`` files orphaned by a crash mid-write.
+
+        ``write_checkpoint`` creates its tmp file in the destination
+        directory (so the rename is atomic); a crash between ``mkstemp`` and
+        ``os.replace`` strands it there forever.  Completed checkpoints are
+        never named ``.ckpt-*.tmp``, so sweeping the pattern on store open
+        is safe — concurrent stores never share a checkpoint directory (the
+        spec/cursor naming assumes one run per directory).
+        """
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.startswith(".ckpt-") and name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:  # pragma: no cover - races with manual cleanup
+                    pass
 
     # ---------------------------------------------------------------- paths
     def paths(self) -> List[str]:

@@ -67,6 +67,15 @@ class FaultPlan:
     truncate_checkpoints: Tuple[int, ...] = ()
     corrupt_checkpoints: Tuple[int, ...] = ()
     no_numpy: bool = False
+    #: Result-store sabotage: row-write ordinals to damage after commit
+    #: (``corrupt`` = bit-flip a payload char, ``torn`` = truncate the
+    #: payload mid-document) and commit ordinals to fault (``busy`` = one
+    #: injected SQLITE_BUSY, retried clean; ``diskfull`` = non-transient
+    #: commit failure, the batch is dropped).
+    corrupt_store_rows: Tuple[int, ...] = ()
+    torn_store_rows: Tuple[int, ...] = ()
+    busy_store_commits: Tuple[int, ...] = ()
+    diskfull_store_commits: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------ chunk side
     def apply_chunk_faults(self, chunk_id: int, attempt: int) -> None:
@@ -111,6 +120,23 @@ class FaultPlan:
                 handle.write(bytes(data))
 
             return "corrupted"
+        return None
+
+    # ------------------------------------------------------------- store side
+    def store_row_damage(self, ordinal: int) -> Optional[str]:
+        """Damage kind for the given committed-row ordinal, if any."""
+        if ordinal in self.corrupt_store_rows:
+            return "corrupt"
+        if ordinal in self.torn_store_rows:
+            return "torn"
+        return None
+
+    def store_commit_fault(self, ordinal: int) -> Optional[str]:
+        """Commit fault for the given flush ordinal, if any."""
+        if ordinal in self.busy_store_commits:
+            return "busy"
+        if ordinal in self.diskfull_store_commits:
+            return "diskfull"
         return None
 
     # ------------------------------------------------------------- factories
@@ -172,6 +198,10 @@ class FaultPlan:
         }
         payload["truncate_checkpoints"] = list(self.truncate_checkpoints)
         payload["corrupt_checkpoints"] = list(self.corrupt_checkpoints)
+        payload["corrupt_store_rows"] = list(self.corrupt_store_rows)
+        payload["torn_store_rows"] = list(self.torn_store_rows)
+        payload["busy_store_commits"] = list(self.busy_store_commits)
+        payload["diskfull_store_commits"] = list(self.diskfull_store_commits)
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
@@ -188,6 +218,10 @@ class FaultPlan:
             truncate_checkpoints=tuple(payload.get("truncate_checkpoints", ())),
             corrupt_checkpoints=tuple(payload.get("corrupt_checkpoints", ())),
             no_numpy=bool(payload.get("no_numpy", False)),
+            corrupt_store_rows=tuple(payload.get("corrupt_store_rows", ())),
+            torn_store_rows=tuple(payload.get("torn_store_rows", ())),
+            busy_store_commits=tuple(payload.get("busy_store_commits", ())),
+            diskfull_store_commits=tuple(payload.get("diskfull_store_commits", ())),
         )
 
     @classmethod

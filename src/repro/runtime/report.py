@@ -35,6 +35,10 @@ EVENT_KINDS = (
     "rss_stop",  # the peak-RSS budget triggered checkpoint-and-stop
     "interrupt",  # KeyboardInterrupt: final checkpoint flushed before unwinding
     "fault_installed",  # a deterministic fault plan is active (chaos runs only)
+    "store_degraded",  # the result store is unusable; run degrades to pure compute
+    "store_retry",  # a store operation hit SQLITE_BUSY and backed off
+    "store_quarantined",  # a corrupt/mismatched store row was quarantined for recompute
+    "store_write_failed",  # a store write batch was dropped (read-only, disk-full, lock)
 )
 
 

@@ -33,11 +33,14 @@ import resource
 import sys
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from .checkpoint import Checkpoint, CheckpointStore
 from .report import RunReport
 from .supervisor import DeadlineExceeded, SupervisionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ResultStore
 
 #: Stream items folded between checkpoint flushes.  Large enough that the
 #: trie keeps its prefix sharing inside one sweep call (smaller batches
@@ -197,6 +200,38 @@ def _check_report_from_payload(protocol_name: str, payload: Dict[str, Any]):
     return report
 
 
+def _check_verdict(run, run_violations) -> Dict[str, Any]:
+    """The memoizable outcome of checking one adversary (store payload)."""
+    return {
+        "decision_time": run.last_decision_time(correct_only=True),
+        "violations": [
+            [violation.property_name, violation.message, violation.process]
+            for violation in run_violations
+        ],
+    }
+
+
+def _fold_verdict(aggregate, index: int, verdict: Dict[str, Any], weight: int) -> None:
+    """Fold one memoized verdict into a ``CheckReport``.
+
+    Must mutate the aggregate exactly as ``CheckReport.record`` would for
+    the run the verdict was computed from — including histogram *insertion
+    order*, which the serialized form preserves — so store-enabled and
+    store-disabled sweeps stay byte-identical.
+    """
+    from ..verification.properties import Violation
+
+    aggregate.runs_checked += weight
+    for property_name, message, process in verdict["violations"]:
+        aggregate.violations.append((index, Violation(property_name, message, process)))
+    last = verdict["decision_time"]
+    if last is not None:
+        aggregate.decision_time_histogram[last] = (
+            aggregate.decision_time_histogram.get(last, 0) + weight
+        )
+        aggregate.max_decision_time = max(aggregate.max_decision_time, last)
+
+
 def resilient_check(
     protocol,
     space,
@@ -210,6 +245,7 @@ def resilient_check(
     batch_size: int = DEFAULT_BATCH_SIZE,
     store: Optional[CheckpointStore] = None,
     resume: bool = False,
+    result_store: Optional["ResultStore"] = None,
     policy: Optional[SupervisionPolicy] = None,
     deadline_seconds: Optional[float] = None,
     max_rss_kb: Optional[int] = None,
@@ -222,6 +258,14 @@ def resilient_check(
     that makes the stream replayable).  A completed outcome's ``value`` is
     the same :class:`CheckReport` the plain ``symmetry="constructive"``
     checker path produces over the space.
+
+    ``result_store`` is the durable cross-run memo
+    (:class:`repro.store.ResultStore`): verdicts found there skip the engine
+    entirely, verdicts computed here are written back at the same batch
+    boundaries the checkpoint flushes at.  The store key excludes
+    engine/symmetry (a verdict is a property of the adversary), so quotient
+    and exhaustive sweeps share entries.  Folding order is the stream order
+    either way, so store-enabled output is byte-identical.
     """
     from ..engine import SweepRunner, validate_engine_choice
     from ..model.run import Run
@@ -242,6 +286,15 @@ def resilient_check(
 
     spec = checker_spec(protocol, space, t, symmetry, engine, enforce_paper_bound)
     protocol_name = getattr(protocol, "name", "protocol")
+    store_spec_h = None
+    if result_store is not None:
+        from ..store import adversary_key, check_store_spec, spec_hash
+
+        if result_store.report is None:
+            result_store.report = report
+        store_spec_h = spec_hash(
+            check_store_spec(spec["protocol"], t, space.context.k, enforce_paper_bound)
+        )
     cursor, payload, resumed_from = _resume_cursor(store, resume, spec, report)
     aggregate = (
         _check_report_from_payload(protocol_name, payload)
@@ -271,20 +324,51 @@ def resilient_check(
     boundary_payload = _check_report_payload(aggregate)
 
     def flush() -> None:
+        if result_store is not None:
+            result_store.flush()
         if store is not None:
             store.save(Checkpoint(spec=spec, cursor=cursor, payload=boundary_payload))
 
     try:
         for batch in _batched(stream, batch_size):
-            representatives = [adversary for _index, adversary, _weight in batch]
+            # Consult the durable memo first: verdicts found there skip the
+            # engine; only the misses are swept.  ``available`` is re-read
+            # every batch so a store that degrades mid-run falls back to
+            # pure compute from the next batch on.
+            use_store = result_store is not None and result_store.available
+            if use_store:
+                keys = [adversary_key(adversary) for _index, adversary, _weight in batch]
+                found = result_store.get_many("check", store_spec_h, keys)
+            else:
+                keys, found = (), {}
+            if use_store and found:
+                representatives = [
+                    adversary
+                    for (_index, adversary, _weight), key in zip(batch, keys)
+                    if key not in found
+                ]
+            else:
+                representatives = [adversary for _index, adversary, _weight in batch]
             if runner is not None:
-                runs = runner.sweep(representatives)
+                runs = runner.sweep(representatives) if representatives else []
             else:
                 runs = [Run(protocol, adversary, t) for adversary in representatives]
-            for (index, _adversary, weight), run in zip(batch, runs):
-                aggregate.record(
-                    index, run, check_run_for_protocol(run, enforce_paper_bound), weight=weight
-                )
+            runs_iter = iter(runs)
+            for position, (index, _adversary, weight) in enumerate(batch):
+                hit = found.get(keys[position]) if use_store else None
+                if hit is not None:
+                    _fold_verdict(aggregate, index, hit, weight)
+                    continue
+                run = next(runs_iter)
+                run_violations = check_run_for_protocol(run, enforce_paper_bound)
+                aggregate.record(index, run, run_violations, weight=weight)
+                if use_store:
+                    result_store.put(
+                        "check",
+                        store_spec_h,
+                        keys[position],
+                        _check_verdict(run, run_violations),
+                    )
             cursor += len(batch)
             boundary_payload = _check_report_payload(aggregate)
             flush()
@@ -348,6 +432,7 @@ def resilient_census(
     batch_size: int = 64,
     store: Optional[CheckpointStore] = None,
     resume: bool = False,
+    result_store: Optional["ResultStore"] = None,
     deadline_seconds: Optional[float] = None,
     max_rss_kb: Optional[int] = None,
     report: Optional[RunReport] = None,
@@ -360,6 +445,16 @@ def resilient_census(
     ``homology_runs`` counts profiles computed in *this* process — a resumed
     run re-misses its connectivity cache, so that bookkeeping field (and
     only it) may exceed the uninterrupted run's.
+
+    ``result_store`` adds the durable memo at three tiers: the whole census
+    row (a completed survey's counters, keyed by the complex fingerprint
+    and fold shape — a hit answers without even grouping the vertices), per
+    census class (``(capacity, level)`` keyed by the class's canonical
+    vertex, skipping even the star construction on a hit) and per
+    connectivity profile (threaded into the
+    :class:`repro.topology.ConnectivityCache`, shared across *every* survey
+    that probes an isomorphic star).  Store hits do not count as
+    ``homology_runs`` — like cache hits, they ran no homology.
     """
     from ..topology.connectivity import DEFAULT_HOMOLOGY_BACKEND
     from ..topology.protocol_complex import (
@@ -377,7 +472,31 @@ def resilient_census(
         store.report = report
     governor = _BudgetGovernor(deadline_seconds, max_rss_kb, report)
 
-    groups, profile, cache = census_classes(pc, k, symmetry=symmetry, backend=backend)
+    if result_store is not None and result_store.report is None:
+        result_store.report = report
+    class_spec_h = row_key = None
+    if result_store is not None:
+        from ..store import census_class_store_spec, census_row_key, spec_hash, vertex_key
+
+        class_spec_h = spec_hash(census_class_store_spec(pc, k))
+        row_key = census_row_key(symmetry)
+        if result_store.available:
+            # The coarsest memo tier: the whole census row.  A hit answers
+            # the survey without even grouping the vertices into classes —
+            # the warm-census fast path `bench_store.py` gates.  A damaged
+            # row is quarantined by the read and the census falls through
+            # to the per-class tier below (which heals it on completion).
+            row_hit = result_store.get("census_row", class_spec_h, row_key)
+            if row_hit is not None:
+                census = CapacityCensus(
+                    *row_hit["counters"], classes=row_hit["classes"], homology_runs=0
+                )
+                return ResilientOutcome(
+                    census, report, True, None, row_hit["classes"], None
+                )
+    groups, profile, cache = census_classes(
+        pc, k, symmetry=symmetry, backend=backend, result_store=result_store
+    )
     spec = census_spec(pc, k, symmetry, backend, spec_extra)
     spec["classes"] = len(groups)
     cursor, payload, resumed_from = _resume_cursor(store, resume, spec, report)
@@ -389,6 +508,8 @@ def resilient_census(
     boundary_payload = {"counters": list(counters), "homology_runs": homology_runs}
 
     def flush() -> None:
+        if result_store is not None:
+            result_store.flush()
         if store is not None:
             store.save(Checkpoint(spec=spec, cursor=cursor, payload=boundary_payload))
 
@@ -398,12 +519,32 @@ def resilient_census(
 
     stop_reason = None
     misses_before = cache.misses if cache is not None else 0
+    uncached = 0  # classes folded with no in-memory cache to count misses for
     try:
         while cursor < len(groups):
             batch = groups[cursor : cursor + batch_size]
-            for representative, weight in batch:
-                capacity = vertex_capacity(representative)
-                level = profile(pc.complex.star(representative))
+            use_store = result_store is not None and result_store.available
+            if use_store:
+                keys = [vertex_key(representative) for representative, _weight in batch]
+                found = result_store.get_many("census_class", class_spec_h, keys)
+            else:
+                keys, found = (), {}
+            for position, (representative, weight) in enumerate(batch):
+                hit = found.get(keys[position]) if use_store else None
+                if hit is not None:
+                    capacity, level = hit["capacity"], hit["level"]
+                else:
+                    capacity = vertex_capacity(representative)
+                    level = profile(pc.complex.star(representative))
+                    if cache is None:
+                        uncached += 1
+                    if use_store:
+                        result_store.put(
+                            "census_class",
+                            class_spec_h,
+                            keys[position],
+                            {"capacity": capacity, "level": level},
+                        )
                 counters[0] += weight
                 if capacity >= k:
                     counters[1] += weight
@@ -418,7 +559,8 @@ def resilient_census(
                 homology_runs += cache.misses - misses_before
                 misses_before = cache.misses
             else:
-                homology_runs += len(batch)
+                homology_runs += uncached
+                uncached = 0
             boundary_payload = {"counters": list(counters), "homology_runs": homology_runs}
             flush()
             stop_reason = governor.stop_reason(cursor)
@@ -428,4 +570,12 @@ def resilient_census(
         report.record("interrupt", cursor=cursor)
         flush()
         raise
+    if result_store is not None and result_store.available:
+        result_store.put(
+            "census_row",
+            class_spec_h,
+            row_key,
+            {"counters": list(counters), "classes": len(groups)},
+        )
+        result_store.flush()
     return outcome(True, None)

@@ -441,17 +441,40 @@ class ConnectivityCache:
     ``backend`` selects the homology backend misses are computed with; since
     the backends are observationally identical, it does not enter the cache
     key — it only decides what a miss costs.
+
+    ``store`` adds a persistent tier (:class:`repro.store.ResultStore`):
+    an in-memory miss consults the store before running homology, and a
+    computed profile is written back (committed at the caller's next batch
+    boundary).  Profiles are a pure function of the star's isomorphism
+    class, so the store namespace is universal — every survey that ever
+    probes an isomorphic star shares the row, whatever its context.  A
+    store hit counts as ``store_hits``, **not** as a miss: like an
+    in-memory hit, it ran no homology (``homology_runs`` accounting).
     """
 
-    __slots__ = ("_profiles", "_signature", "backend", "hits", "misses")
+    __slots__ = (
+        "_profiles",
+        "_signature",
+        "_signature_name",
+        "backend",
+        "hits",
+        "misses",
+        "store",
+        "store_hits",
+    )
 
-    def __init__(self, signature=None, backend: str = DEFAULT_HOMOLOGY_BACKEND) -> None:
+    def __init__(
+        self, signature=None, backend: str = DEFAULT_HOMOLOGY_BACKEND, store=None
+    ) -> None:
         validate_homology_backend(backend)
         self._profiles: Dict[Tuple, int] = {}
         self._signature = signature
+        self._signature_name = None
         self.backend = backend
         self.hits = 0
         self.misses = 0
+        self.store = store
+        self.store_hits = 0
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -468,6 +491,24 @@ class ConnectivityCache:
         if cached is not None:
             self.hits += 1
             return cached
+        if self.store is not None and self.store.available:
+            from ..store import PROFILE_SPEC_HASH, profile_key
+
+            if self._signature_name is None:
+                self._signature_name = getattr(
+                    signature, "__name__", type(signature).__name__
+                )
+            row_key = profile_key(self._signature_name, key[0], max_q)
+            stored = self.store.get("profile", PROFILE_SPEC_HASH, row_key)
+            if stored is not None:
+                self.store_hits += 1
+                self._profiles[key] = stored
+                return stored
+            self.misses += 1
+            level = connectivity_profile(complex_, max_q=max_q, backend=self.backend)
+            self._profiles[key] = level
+            self.store.put("profile", PROFILE_SPEC_HASH, row_key, level)
+            return level
         self.misses += 1
         level = connectivity_profile(complex_, max_q=max_q, backend=self.backend)
         self._profiles[key] = level

@@ -140,6 +140,7 @@ def census_classes(
     k: int,
     symmetry: str = "none",
     backend: Optional[str] = None,
+    result_store=None,
 ):
     """The deterministic class stream a Proposition 2 census folds over.
 
@@ -158,6 +159,11 @@ def census_classes(
     into ``groups``, which is why the list order must be deterministic — it
     follows ``pc.vertex_views`` generation order (first-seen order of the
     canonical classes on the symmetry paths).
+
+    ``result_store`` threads a :class:`repro.store.ResultStore` into the
+    :class:`ConnectivityCache` as its persistent tier (symmetry paths only —
+    the exhaustive path computes profiles directly; its durable memo lives
+    one level up, in the per-class rows of :func:`resilient_census`).
     """
     from ..symmetry import canonical_view_key, validate_symmetry_choice
     from .connectivity import DEFAULT_HOMOLOGY_BACKEND, validate_homology_backend
@@ -193,7 +199,9 @@ def census_classes(
                     f"({sorted(facet_counts)} facets) in this complex"
                 )
         groups = [(members[0], len(members)) for members in grouped.values()]
-        cache = ConnectivityCache(signature=renaming_star_signature, backend=backend)
+        cache = ConnectivityCache(
+            signature=renaming_star_signature, backend=backend, store=result_store
+        )
         profile = lambda star: cache.profile(star, max_q=k - 1)  # noqa: E731
     return groups, profile, cache
 
@@ -203,6 +211,7 @@ def capacity_connectivity_census(
     k: int,
     symmetry: str = "none",
     backend: Optional[str] = None,
+    result_store=None,
 ) -> CapacityCensus:
     """Cross-tabulate hidden capacity against star ``(k-1)``-connectivity.
 
@@ -240,7 +249,9 @@ def capacity_connectivity_census(
     cannot catch every violation (equal counts, different homology), which
     is why closure remains a documented requirement.
     """
-    groups, profile, cache = census_classes(pc, k, symmetry=symmetry, backend=backend)
+    groups, profile, cache = census_classes(
+        pc, k, symmetry=symmetry, backend=backend, result_store=result_store
+    )
     classes = len(groups)
 
     vertices = high = consistent = connected = connected_high = 0
@@ -256,6 +267,8 @@ def capacity_connectivity_census(
             connected += weight
             if capacity >= k:
                 connected_high += weight
+    if result_store is not None:
+        result_store.flush()
     return CapacityCensus(
         vertices,
         high,

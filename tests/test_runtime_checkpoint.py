@@ -157,6 +157,26 @@ class TestStore:
         with pytest.raises(ValueError, match="keep"):
             CheckpointStore(str(tmp_path), keep=0)
 
+    def test_open_sweeps_orphaned_tmp_files(self, tmp_path):
+        """A crash between mkstemp and os.replace strands a .ckpt-*.tmp file;
+        the next store open removes it instead of leaking it forever."""
+        store = CheckpointStore(str(tmp_path))
+        store.save(make_checkpoint(10))
+        for name in (".ckpt-dead1.tmp", ".ckpt-dead2.tmp"):
+            with open(tmp_path / name, "w", encoding="utf-8") as handle:
+                handle.write("{ torn mid-write")
+        reopened = CheckpointStore(str(tmp_path))
+        leftovers = [name for name in os.listdir(tmp_path) if name.endswith(".tmp")]
+        assert leftovers == []
+        # Completed checkpoints are untouched by the sweep.
+        assert reopened.latest(spec=SPEC).cursor == 10
+
+    def test_sweep_ignores_non_checkpoint_files(self, tmp_path):
+        with open(tmp_path / "notes.tmp", "w", encoding="utf-8") as handle:
+            handle.write("keep me")
+        CheckpointStore(str(tmp_path))
+        assert (tmp_path / "notes.tmp").exists()
+
 
 class TestFaultPlanSerialization:
     def test_json_round_trip(self):
