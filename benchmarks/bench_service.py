@@ -1,0 +1,184 @@
+"""SERVICE — job-queue overhead and warm re-submit latency.
+
+The survey service (``repro.service``, ``docs/service.md``) wraps every
+survey in queue machinery: a submit transaction, a lease claim, heartbeat
+renewals, per-boundary event forwarding, and a conditional completion
+commit.  This benchmark gates the two numbers that contract promises on
+the n=5, t=2, k=2 constructive sweep (18 579 orbit representatives
+standing for ~1.43M adversaries):
+
+- **queue overhead < 10% CPU** (``SERVICE_MAX_OVERHEAD`` relaxes): a job
+  executed through submit → claim → ``JobRunner`` → complete must cost
+  under 10% extra CPU over the same ``resilient_check`` call made
+  directly — with identical checkpoint and result stores on both legs, so
+  the delta isolates the queue itself.  The machinery is a handful of
+  SQLite transactions against a megabyte-scale fold, so the measured
+  overhead is low single digits; the gate catches a regression that drags
+  queue work into the per-batch (or worse, per-adversary) path;
+- **warm re-submit < 1s wall** (``SERVICE_MAX_WARM_SECONDS`` relaxes): a
+  fresh client session (new ``JobQueue`` handle on the same database — the
+  service-restart model) re-submitting a completed spec must get the full
+  result back in under a second.  The spec hash IS the job identity, so
+  the submit lands on the finished row and the answer comes from the
+  durable result column without re-folding anything.
+
+The overhead gate is on CPU time (min of three interleaved rounds),
+mirroring ``bench_store.py``: queue costs are CPU/syscall work and wall
+clock on shared runners is noisier than the margin.  Identity is asserted,
+not assumed: every round's job-produced report must equal the direct
+leg's exactly — a queue that changed the answer would be a bug, not an
+overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import time as wall
+
+import pytest
+
+from repro.runtime import CheckpointStore, SupervisionPolicy, resilient_check
+from repro.runtime.runner import _check_report_payload
+from repro.service import JobQueue, JobRunner, job_id, normalize_spec
+from repro.store import ResultStore
+
+from conftest import print_table, record_benchmark
+
+MAX_OVERHEAD = float(os.environ.get("SERVICE_MAX_OVERHEAD", "0.10"))
+MAX_WARM_SECONDS = float(os.environ.get("SERVICE_MAX_WARM_SECONDS", "1.0"))
+
+#: The survey under test: 18 579 orbit representatives (~1.43M members).
+SPEC = normalize_spec({"kind": "sweep", "n": 5, "t": 2, "k": 2})
+ROUNDS = 3
+
+
+def direct_leg(root: str, round_index: int):
+    """The library path: resilient_check with its own checkpoint/result stores."""
+    from repro.service.specs import build_protocol, build_space
+
+    store = CheckpointStore(os.path.join(root, f"direct-ck-{round_index}"))
+    result_store = ResultStore(os.path.join(root, f"direct-rs-{round_index}.sqlite"))
+    cpu0, wall0 = wall.process_time(), wall.perf_counter()
+    outcome = resilient_check(
+        build_protocol(SPEC),
+        build_space(SPEC),
+        SPEC["t"],
+        symmetry=SPEC["symmetry"],
+        engine=SPEC["engine"],
+        store=store,
+        result_store=result_store,
+        policy=SupervisionPolicy(),
+    )
+    elapsed = (wall.process_time() - cpu0, wall.perf_counter() - wall0)
+    result_store.close()
+    assert outcome.completed
+    return elapsed, _check_report_payload(outcome.value)
+
+
+def job_leg(root: str, round_index: int):
+    """The service path: submit → claim → JobRunner → conditional complete."""
+    queue_path = os.path.join(root, f"queue-{round_index}.sqlite")
+    workdir = os.path.join(root, f"job-work-{round_index}")
+    jid = job_id(SPEC)
+    with JobQueue(queue_path) as queue:
+        cpu0, wall0 = wall.process_time(), wall.perf_counter()
+        queue.submit(jid, SPEC)
+        outcome = JobRunner(queue, workdir).run_once()
+        elapsed = (wall.process_time() - cpu0, wall.perf_counter() - wall0)
+        assert outcome == {"job": jid, "outcome": "done"}
+        job = queue.job(jid)
+    return elapsed, job["result"], queue_path
+
+
+def warm_resubmit_leg(queue_path: str):
+    """A fresh client session re-submits the finished spec and reads the result."""
+    jid = job_id(SPEC)
+    cpu0, wall0 = wall.process_time(), wall.perf_counter()
+    with JobQueue(queue_path) as queue:
+        job = queue.submit(jid, SPEC)
+    elapsed = (wall.process_time() - cpu0, wall.perf_counter() - wall0)
+    assert job["state"] == "done" and not job["created"] and not job["requeued"]
+    assert job["result"]["ok"]
+    return elapsed
+
+
+def run_legs(root: str):
+    direct_times, job_times, warm_times = [], [], []
+    direct_payload = job_result = None
+    for round_index in range(ROUNDS):
+        direct_time, direct_payload = direct_leg(root, round_index)
+        direct_times.append(direct_time)
+        job_time, job_result, queue_path = job_leg(root, round_index)
+        job_times.append(job_time)
+        # The queue must change when work happens, never what is computed.
+        assert job_result["ok"]
+        assert job_result["report"] == direct_payload
+        warm_times.append(warm_resubmit_leg(queue_path))
+    return direct_times, job_times, warm_times, direct_payload
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_overhead_and_warm_resubmit(benchmark, tmp_path):
+    direct_times, job_times, warm_times, payload = benchmark.pedantic(
+        lambda: run_legs(str(tmp_path)), rounds=1, iterations=1
+    )
+    direct_cpu = min(cpu for cpu, _ in direct_times)
+    job_cpu = min(cpu for cpu, _ in job_times)
+    warm_wall = min(elapsed for _, elapsed in warm_times)
+    overhead = (job_cpu - direct_cpu) / direct_cpu
+    print_table(
+        f"SERVICE — n={SPEC['n']}, t={SPEC['t']}, k={SPEC['k']} constructive "
+        f"sweep: direct vs queued vs warm re-submit (best of {ROUNDS})",
+        ["leg", "cpu (s)", "wall (s)", "runs checked"],
+        [
+            (
+                "direct resilient_check",
+                f"{direct_cpu:.3f}",
+                f"{min(s for _, s in direct_times):.3f}",
+                payload["runs_checked"],
+            ),
+            (
+                "queued job (submit→claim→run→complete)",
+                f"{job_cpu:.3f}",
+                f"{min(s for _, s in job_times):.3f}",
+                payload["runs_checked"],
+            ),
+            (
+                "warm re-submit (fresh session)",
+                f"{min(c for c, _ in warm_times):.5f}",
+                f"{warm_wall:.5f}",
+                "0 (answered from the job row)",
+            ),
+        ],
+    )
+    print(
+        f"\nqueue overhead (cpu): {overhead * 100:+.2f}% "
+        f"(gate: <= {MAX_OVERHEAD * 100:.0f}%)"
+        f"\nwarm re-submit (wall): {warm_wall:.4f}s "
+        f"(gate: < {MAX_WARM_SECONDS:.1f}s)"
+    )
+    record_benchmark(
+        "service",
+        {
+            "max_overhead_gate": MAX_OVERHEAD,
+            "max_warm_seconds_gate": MAX_WARM_SECONDS,
+            "n": SPEC["n"],
+            "t": SPEC["t"],
+            "k": SPEC["k"],
+            "symmetry": SPEC["symmetry"],
+            "runs_checked": payload["runs_checked"],
+            "direct_cpu_seconds": direct_cpu,
+            "job_cpu_seconds": job_cpu,
+            "overhead_fraction": overhead,
+            "warm_resubmit_wall_seconds": warm_wall,
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"queued execution adds {overhead * 100:.2f}% CPU over the direct "
+        f"sweep ({job_cpu:.3f}s vs {direct_cpu:.3f}s); gate is "
+        f"{MAX_OVERHEAD * 100:.0f}%"
+    )
+    assert warm_wall < MAX_WARM_SECONDS, (
+        f"warm re-submit took {warm_wall:.3f}s wall; a completed spec must "
+        f"answer from the job row in under {MAX_WARM_SECONDS:.1f}s"
+    )

@@ -23,7 +23,14 @@ Installed as the ``repro-set-consensus`` console script (also runnable as
 * ``census``   — the Proposition 2 capacity-vs-connectivity census over the
   restricted protocol complex, with ``--backend`` selecting the homology
   backend (``packed`` kernel or the ``bigint`` / ``dense`` oracles) and
-  ``--symmetry quotient`` collapsing the survey to canonical vertex classes.
+  ``--symmetry quotient`` collapsing the survey to canonical vertex classes;
+* ``serve``    — the survey service: a crash-safe job queue plus a stdlib
+  async HTTP API (submit/status/result/cancel/events) over the resilient
+  runtime; drains gracefully on SIGTERM/SIGINT (exit 130) or ``--deadline``
+  (exit 3), leases released and checkpoints flushed (see docs/service.md);
+* ``jobs``     — client for the service: submit/status/result/events/cancel/
+  list, over HTTP (``--url``) or directly against the queue database
+  (``--queue``).
 
 ``sweep`` and ``census`` also take the fault-tolerant runtime flags
 (``--checkpoint DIR``, ``--resume``, ``--deadline SECONDS``,
@@ -81,6 +88,15 @@ def _worker_count(value: str) -> int:
     count = int(value)
     if count < 1:
         raise argparse.ArgumentTypeError(f"--processes must be >= 1, got {count}")
+    return count
+
+
+def _retry_budget(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"--max-retries must be >= 0 (0 disables retries), got {count}"
+        )
     return count
 
 
@@ -151,7 +167,7 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--max-retries",
-        type=int,
+        type=_retry_budget,
         default=2,
         help="per-chunk retry budget of the supervised executor (default 2)",
     )
@@ -718,6 +734,183 @@ def cmd_store(args: argparse.Namespace) -> int:
         store.close()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the survey service: job queue + runners + async HTTP API.
+
+    Blocks until SIGTERM/SIGINT (drain, exit 130) or ``--deadline`` (drain,
+    exit 3); the drain is graceful — runners stop at a batch boundary with
+    checkpoints flushed and leases released, so in-flight jobs resume.
+    """
+    from .service import serve
+
+    store_path = None if args.store == "none" else args.store
+
+    def announce(service) -> None:
+        print(f"survey service listening on http://{service.host}:{service.port}")
+        print(f"  queue={service.queue_path}")
+        print(f"  workdir={service.workdir}")
+        sys.stdout.flush()
+
+    return serve(
+        args.queue,
+        args.workdir,
+        host=args.host,
+        port=args.port,
+        deadline_seconds=args.deadline,
+        lease_seconds=args.lease,
+        ceiling=args.ceiling,
+        max_depth=args.max_depth,
+        runners=args.runners,
+        processes=args.processes,
+        batch_size=args.batch_size,
+        max_retries=args.max_retries,
+        job_deadline_seconds=args.job_deadline,
+        store_path=store_path,
+        announce=announce,
+    )
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Submit to and inspect the survey service.
+
+    ``--url`` talks to a running service over HTTP; ``--queue`` operates on
+    the queue database directly (same validation and admission, no service
+    required — useful for scripting and post-mortems).
+    """
+    import json as _json
+
+    from .service import (
+        JobQueue,
+        JobQueueError,
+        SpecError,
+        admission,
+        job_id,
+        normalize_spec,
+        request_json,
+    )
+
+    def render(payload) -> None:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.action in ("status", "result", "events", "cancel") and not args.job:
+        print(f"jobs {args.action} requires a job id", file=sys.stderr)
+        return 2
+
+    try:
+        if args.action == "submit":
+            if args.spec is not None:
+                try:
+                    raw = _json.loads(args.spec)
+                except ValueError as error:
+                    print(f"--spec is not valid JSON: {error}", file=sys.stderr)
+                    return 2
+            else:
+                raw = {"kind": args.kind}
+                for field, value in (
+                    ("n", args.n),
+                    ("t", args.t),
+                    ("k", args.k),
+                    ("protocol", args.protocol),
+                    ("symmetry", args.symmetry),
+                    ("limit", args.limit),
+                    ("time", args.time),
+                ):
+                    if value is not None:
+                        raw[field] = value
+            if args.url is not None:
+                status, payload = request_json(args.url, "POST", "/jobs", raw)
+                render(payload)
+                return 0 if status in (200, 202) else 2
+            try:
+                spec = normalize_spec(raw)
+            except SpecError as error:
+                print(f"invalid spec: {error}", file=sys.stderr)
+                return 2
+            verdict = admission(spec, ceiling=args.ceiling)
+            if not verdict["admit"]:
+                print(f"rejected: {verdict['reason']}", file=sys.stderr)
+                return 2
+            with JobQueue(args.queue) as queue:
+                job = queue.submit(job_id(spec), spec)
+            render(
+                {
+                    "job": job["id"],
+                    "created": job["created"],
+                    "requeued": job["requeued"],
+                    "state": job["state"],
+                    "admission": verdict,
+                }
+            )
+            return 0
+
+        if args.action == "list":
+            if args.url is not None:
+                path = "/jobs" + (f"?state={args.state}" if args.state else "")
+                status, payload = request_json(args.url, "GET", path)
+                render(payload)
+                return 0 if status == 200 else 1
+            with JobQueue(args.queue) as queue:
+                render({"jobs": queue.jobs(state=args.state), "counts": queue.counts()})
+            return 0
+
+        if args.action == "cancel":
+            if args.url is not None:
+                status, payload = request_json(args.url, "POST", f"/jobs/{args.job}/cancel")
+                render(payload)
+                return 0 if status == 200 else 1
+            with JobQueue(args.queue) as queue:
+                prior = queue.cancel(args.job)
+            if prior is None:
+                print(f"job {args.job} is not cancellable (unknown or terminal)", file=sys.stderr)
+                return 1
+            render({"job": args.job, "state": "cancelled", "was": prior})
+            return 0
+
+        if args.action == "events":
+            if args.url is not None:
+                status, payload = request_json(args.url, "GET", f"/jobs/{args.job}/events")
+                render(payload)
+                return 0 if status == 200 else 1
+            with JobQueue(args.queue) as queue:
+                render({"job": args.job, "events": queue.events(args.job)})
+            return 0
+
+        # status / result: one fetch, or a --wait poll until terminal.
+        def fetch():
+            if args.url is not None:
+                status, payload = request_json(args.url, "GET", f"/jobs/{args.job}")
+                return payload if status == 200 else None
+            with JobQueue(args.queue) as queue:
+                return queue.job(args.job)
+
+        deadline = time.monotonic() + args.wait
+        while True:
+            job = fetch()
+            if job is None:
+                print(f"no such job: {args.job}", file=sys.stderr)
+                return 1
+            if job["state"] in ("done", "failed", "cancelled") or time.monotonic() >= deadline:
+                break
+            time.sleep(0.5)
+        if args.action == "status":
+            render(job)
+            return 0
+        if job["state"] == "done":
+            render({"job": job["id"], "state": "done", "result": job["result"]})
+            return 0
+        if job["state"] in ("failed", "cancelled"):
+            render({"job": job["id"], "state": job["state"], "error": job["error"]})
+            return 1
+        print(f"job {args.job} is {job['state']}, not finished", file=sys.stderr)
+        return 3
+    except JobQueueError as error:
+        print(f"job queue error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:  # connection refused, timeout, DNS
+        print(f"cannot reach {args.url}: {error}", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-set-consensus",
@@ -852,6 +1045,147 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_parser.set_defaults(func=cmd_store)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the survey service: crash-safe job queue + async HTTP API "
+        "(submit/status/result/cancel/events; graceful drain on SIGTERM)",
+    )
+    serve_parser.add_argument(
+        "--queue", required=True, metavar="PATH", help="job queue database file"
+    )
+    serve_parser.add_argument(
+        "--workdir",
+        required=True,
+        metavar="DIR",
+        help="runner state: per-job checkpoint directories and (by default) "
+        "the shared result store",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--runners", type=int, default=1, help="job-executing worker threads (default 1)"
+    )
+    serve_parser.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="job lease length: a crashed runner's job is reclaimed this long "
+        "after its last heartbeat (default 30)",
+    )
+    serve_parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=32,
+        help="queued+running jobs accepted before submits get 429 (default 32)",
+    )
+    serve_parser.add_argument(
+        "--ceiling",
+        type=int,
+        default=MAX_UNBOUNDED_SWEEP,
+        help="admission ceiling: reject specs whose closed-form workload "
+        f"exceeds this (default {MAX_UNBOUNDED_SWEEP:,})",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="service wall-clock budget; on expiry the service drains and exits 3",
+    )
+    serve_parser.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; an expired job checkpoints and requeues",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=None, help="survey batch size (checkpoint cadence)"
+    )
+    serve_parser.add_argument(
+        "--processes",
+        type=_worker_count,
+        default=None,
+        help="multiprocessing workers per survey, >= 1 (batch engine only)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=_retry_budget,
+        default=2,
+        help="per-chunk retry budget of the supervised executor (default 2)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default="auto",
+        metavar="PATH",
+        help="result store path ('auto' = workdir/results.sqlite, 'none' disables)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs",
+        help="submit to and inspect the survey service "
+        "(--url for a running service, --queue for the database directly)",
+    )
+    jobs_parser.add_argument(
+        "action", choices=["submit", "status", "result", "events", "cancel", "list"]
+    )
+    jobs_parser.add_argument(
+        "job", nargs="?", default=None, help="job id (status/result/events/cancel)"
+    )
+    transport = jobs_parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--queue", metavar="PATH", help="operate on a queue database")
+    transport.add_argument("--url", metavar="URL", help="operate through a running service")
+    jobs_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="JSON",
+        help="submit: the full job spec as JSON (overrides the spec flags)",
+    )
+    jobs_parser.add_argument(
+        "--kind", default="sweep", choices=["sweep", "census"], help="submit: job kind"
+    )
+    jobs_parser.add_argument("-n", type=int, default=None, help="submit: number of processes")
+    jobs_parser.add_argument("-t", type=int, default=None, help="submit: crash bound")
+    jobs_parser.add_argument("-k", type=int, default=None, help="submit: agreement parameter")
+    jobs_parser.add_argument(
+        "--protocol", default=None, choices=sorted(PROTOCOLS), help="submit: sweep protocol"
+    )
+    from .symmetry import SYMMETRIES as _symmetries
+
+    jobs_parser.add_argument(
+        "--symmetry", default=None, choices=list(_symmetries), help="submit: sweep symmetry"
+    )
+    jobs_parser.add_argument(
+        "--time", type=int, default=None, help="submit: census round count"
+    )
+    jobs_parser.add_argument(
+        "--limit", type=int, default=None, help="submit: cap the sweep stream"
+    )
+    jobs_parser.add_argument(
+        "--ceiling",
+        type=int,
+        default=MAX_UNBOUNDED_SWEEP,
+        help="submit --queue: admission ceiling (the service applies its own)",
+    )
+    jobs_parser.add_argument(
+        "--state",
+        default=None,
+        choices=["queued", "running", "done", "failed", "cancelled"],
+        help="list: filter by state",
+    )
+    jobs_parser.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="status/result: poll until the job is terminal or this long has passed",
+    )
+    jobs_parser.set_defaults(func=cmd_jobs)
+
     return parser
 
 
@@ -865,6 +1199,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and getattr(args, "checkpoint", None) is None:
+        # Catch the broken flag combination at parse time (exit 2, usage on
+        # stderr) instead of deep inside the resilient path.
+        parser.error(
+            "--resume requires --checkpoint DIR (there is no checkpoint "
+            "directory to resume from)"
+        )
     try:
         return args.func(args)
     except KeyboardInterrupt:

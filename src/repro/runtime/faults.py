@@ -76,6 +76,22 @@ class FaultPlan:
     torn_store_rows: Tuple[int, ...] = ()
     busy_store_commits: Tuple[int, ...] = ()
     diskfull_store_commits: Tuple[int, ...] = ()
+    #: Service-layer sabotage (the job queue / job runner of
+    #: :mod:`repro.service`).  ``kill_job_owner`` maps a claim ordinal to the
+    #: number of checkpoint saves the owning runner is allowed before it
+    #: ``SIGKILL``s itself mid-job (the dead-driver model: the lease must
+    #: expire and another runner must reclaim and resume from the
+    #: checkpoint).  ``expire_lease`` names claim ordinals whose lease is
+    #: written already expired, so reclaim is immediately exercisable;
+    #: ``delay_heartbeat`` names heartbeat ordinals that are silently
+    #: dropped (the stuck-heartbeat model: the lease lapses under a live
+    #: owner); ``drop_job_commit`` names queue commit ordinals that fail
+    #: non-transiently (the queue's disk-full model: the operation errors
+    #: cleanly instead of corrupting state).
+    kill_job_owner: Dict[int, int] = field(default_factory=dict)
+    expire_lease: Tuple[int, ...] = ()
+    delay_heartbeat: Tuple[int, ...] = ()
+    drop_job_commit: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------ chunk side
     def apply_chunk_faults(self, chunk_id: int, attempt: int) -> None:
@@ -138,6 +154,23 @@ class FaultPlan:
         if ordinal in self.diskfull_store_commits:
             return "diskfull"
         return None
+
+    # ----------------------------------------------------------- service side
+    def job_owner_kill(self, claim_ordinal: int) -> Optional[int]:
+        """Checkpoint saves the owner of this claim may make before SIGKILL."""
+        return self.kill_job_owner.get(claim_ordinal)
+
+    def lease_preexpired(self, claim_ordinal: int) -> bool:
+        """Whether this claim's lease is written already expired."""
+        return claim_ordinal in self.expire_lease
+
+    def heartbeat_dropped(self, ordinal: int) -> bool:
+        """Whether this heartbeat is silently dropped (lease left to lapse)."""
+        return ordinal in self.delay_heartbeat
+
+    def job_commit_dropped(self, ordinal: int) -> bool:
+        """Whether this queue commit fails non-transiently."""
+        return ordinal in self.drop_job_commit
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -202,6 +235,10 @@ class FaultPlan:
         payload["torn_store_rows"] = list(self.torn_store_rows)
         payload["busy_store_commits"] = list(self.busy_store_commits)
         payload["diskfull_store_commits"] = list(self.diskfull_store_commits)
+        payload["kill_job_owner"] = {str(k): v for k, v in self.kill_job_owner.items()}
+        payload["expire_lease"] = list(self.expire_lease)
+        payload["delay_heartbeat"] = list(self.delay_heartbeat)
+        payload["drop_job_commit"] = list(self.drop_job_commit)
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
@@ -222,6 +259,12 @@ class FaultPlan:
             torn_store_rows=tuple(payload.get("torn_store_rows", ())),
             busy_store_commits=tuple(payload.get("busy_store_commits", ())),
             diskfull_store_commits=tuple(payload.get("diskfull_store_commits", ())),
+            kill_job_owner={
+                int(k): int(v) for k, v in payload.get("kill_job_owner", {}).items()
+            },
+            expire_lease=tuple(payload.get("expire_lease", ())),
+            delay_heartbeat=tuple(payload.get("delay_heartbeat", ())),
+            drop_job_commit=tuple(payload.get("drop_job_commit", ())),
         )
 
     @classmethod

@@ -39,6 +39,18 @@ EVENT_KINDS = (
     "store_retry",  # a store operation hit SQLITE_BUSY and backed off
     "store_quarantined",  # a corrupt/mismatched store row was quarantined for recompute
     "store_write_failed",  # a store write batch was dropped (read-only, disk-full, lock)
+    # Service-layer kinds (repro.service): emitted into the per-job event
+    # log as well as onto the RunReport threaded through the job runner.
+    "job_submitted",  # a job entered the queue (detail: job, kind)
+    "job_claimed",  # a runner leased a queued job (detail: job, owner, attempt)
+    "job_reclaimed",  # a runner leased a job whose previous lease expired
+    "job_heartbeat_lost",  # an owner's heartbeat found its lease gone (reclaim or cancel)
+    "job_released",  # an owner released its lease at a batch boundary (drain/budget)
+    "job_completed",  # a job finished and its result row was committed
+    "job_failed",  # a job exhausted its attempts (detail: job, error)
+    "job_cancelled",  # a client cancelled the job
+    "job_requeued",  # a failed/cancelled job was resubmitted
+    "service_drain",  # the service began draining (SIGTERM/SIGINT or budget)
 )
 
 

@@ -1,0 +1,40 @@
+"""Survey-as-a-service: crash-safe job queue, supervised runner, async API.
+
+The service layer composes the repo's resilience stack into a long-running
+daemon: :mod:`repro.service.jobs` is the durable lease/heartbeat queue,
+:mod:`repro.service.specs` the validated job identity and the O(1)
+admission guard, :mod:`repro.service.runner` the supervised executor
+driving the PR 8 resilient runners, and :mod:`repro.service.api` the
+stdlib-only async HTTP front end (``repro.cli serve`` / ``repro.cli
+jobs``).
+"""
+
+from .api import DEFAULT_MAX_DEPTH, SurveyService, request_json, serve
+from .jobs import JOB_STATES, JOBS_SCHEMA, JobQueue, JobQueueError, default_owner
+from .runner import DrainRequested, JobRunner
+from .specs import (
+    DEFAULT_ADMISSION_CEILING,
+    SpecError,
+    admission,
+    job_id,
+    normalize_spec,
+)
+
+__all__ = [
+    "DEFAULT_ADMISSION_CEILING",
+    "DEFAULT_MAX_DEPTH",
+    "DrainRequested",
+    "JOBS_SCHEMA",
+    "JOB_STATES",
+    "JobQueue",
+    "JobQueueError",
+    "JobRunner",
+    "SpecError",
+    "SurveyService",
+    "admission",
+    "default_owner",
+    "job_id",
+    "normalize_spec",
+    "request_json",
+    "serve",
+]

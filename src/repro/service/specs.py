@@ -1,0 +1,211 @@
+"""Job specs: the validated, canonical description of one survey job.
+
+A job payload is a plain JSON object — ``{"kind": "sweep", ...}`` or
+``{"kind": "census", ...}`` — because the queue's idempotence contract
+requires that *the spec is the identity*: :func:`normalize_spec` maps
+every equivalent request (omitted defaults, key order, int-ish strings)
+onto one canonical dict, and :func:`job_id` hashes that canonical form
+with the store's :func:`repro.store.keys.spec_hash`.  Two clients asking
+for the same survey therefore compute the same job id before the queue is
+ever touched, which is what makes concurrent duplicate submits collapse
+onto one row.
+
+:func:`admission` is the service's O(1) intractability guard: the
+closed-form member count and the bounded constructive orbit probe
+(:func:`repro.adversaries.enumeration.pattern_and_orbit_counts` with a
+``ceiling``) decide *at submit time* whether the spec is sweepable at all
+— an n=8 exhaustive request is rejected with the counts that condemn it,
+without enumerating a single adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..model import Context
+
+#: Default ceiling on admitted work, matching the CLI's unbounded-sweep
+#: refusal threshold: orbit representatives for constructive sweeps,
+#: closed-form members otherwise.
+DEFAULT_ADMISSION_CEILING = 200_000
+
+_SWEEP_DEFAULTS: Dict[str, Any] = {
+    "protocol": "optmin",
+    "max_crash_round": None,
+    "receiver_policy": "canonical",
+    "max_failures": None,
+    "limit": None,
+    "symmetry": "constructive",
+    "engine": "batch",
+    "enforce_paper_bound": True,
+}
+
+_CENSUS_DEFAULTS: Dict[str, Any] = {
+    "time": 1,
+    "symmetry": "quotient",
+    "backend": None,
+    "engine": "batch",
+}
+
+
+class SpecError(ValueError):
+    """A job spec failed validation (HTTP 400 at the API, exit 2 at the CLI)."""
+
+
+def _require_int(spec: Dict[str, Any], field: str, minimum: int = 0) -> int:
+    value = spec.get(field)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise SpecError(f"spec field {field!r} must be an integer >= {minimum}, got {value!r}")
+    return value
+
+
+def _optional_int(spec: Dict[str, Any], field: str, minimum: int = 0) -> Optional[int]:
+    if spec.get(field) is None:
+        return None
+    return _require_int(spec, field, minimum)
+
+
+def _choice(spec: Dict[str, Any], field: str, choices: Tuple[str, ...]) -> str:
+    value = spec.get(field)
+    if value not in choices:
+        raise SpecError(f"spec field {field!r} must be one of {sorted(choices)}, got {value!r}")
+    return value
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """The submittable protocol names (the CLI registry, imported lazily)."""
+    from ..cli import PROTOCOLS
+
+    return tuple(sorted(PROTOCOLS))
+
+
+def normalize_spec(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical form of a job spec: validated, defaults filled, fixed keys.
+
+    Raises :class:`SpecError` on anything malformed — unknown kind, missing
+    context, unknown protocol/symmetry/engine, negative bounds, unexpected
+    fields.  The returned dict is identity material: equal surveys, equal
+    dicts.
+    """
+    from ..engine import ENGINES
+    from ..symmetry import SYMMETRIES
+
+    if not isinstance(raw, dict):
+        raise SpecError(f"job spec must be a JSON object, got {type(raw).__name__}")
+    kind = raw.get("kind")
+    if kind not in ("sweep", "census"):
+        raise SpecError(f"spec field 'kind' must be 'sweep' or 'census', got {kind!r}")
+    defaults = _SWEEP_DEFAULTS if kind == "sweep" else _CENSUS_DEFAULTS
+    allowed = {"kind", "n", "t", "k", *defaults}
+    unknown = sorted(set(raw) - allowed)
+    if unknown:
+        raise SpecError(f"unknown spec fields for kind={kind!r}: {unknown}")
+    spec = {"kind": kind, **defaults}
+    spec.update({key: raw[key] for key in raw if key != "kind"})
+
+    spec["n"] = _require_int(spec, "n", minimum=1)
+    spec["t"] = _require_int(spec, "t", minimum=0)
+    spec["k"] = _require_int(spec, "k", minimum=1)
+    try:  # Context enforces the paper's parameter constraints (t < n, ...)
+        Context(n=spec["n"], t=spec["t"], k=spec["k"])
+    except (ValueError, AssertionError) as error:
+        raise SpecError(f"invalid context n={spec['n']}, t={spec['t']}, k={spec['k']}: {error}")
+    _choice(spec, "engine", tuple(ENGINES))
+    if kind == "sweep":
+        _choice(spec, "protocol", protocol_names())
+        _choice(spec, "symmetry", tuple(SYMMETRIES))
+        _choice(spec, "receiver_policy", ("all", "canonical", "none"))
+        spec["max_crash_round"] = _optional_int(spec, "max_crash_round", minimum=0)
+        spec["max_failures"] = _optional_int(spec, "max_failures", minimum=0)
+        spec["limit"] = _optional_int(spec, "limit", minimum=1)
+        spec["enforce_paper_bound"] = bool(spec["enforce_paper_bound"])
+    else:
+        spec["time"] = _require_int(spec, "time", minimum=1)
+        _choice(spec, "symmetry", tuple(SYMMETRIES))
+        if spec["backend"] is not None:
+            _choice(spec, "backend", ("packed", "bigint", "dense"))
+    return {key: spec[key] for key in sorted(spec)}
+
+
+def job_id(spec: Dict[str, Any]) -> str:
+    """The job identity: the spec hash of the canonical spec."""
+    from ..store import spec_hash
+
+    return spec_hash(spec)
+
+
+def admission(
+    spec: Dict[str, Any], ceiling: int = DEFAULT_ADMISSION_CEILING
+) -> Dict[str, Any]:
+    """Closed-form tractability verdict for a normalized spec.
+
+    Returns ``{"admit": bool, "reason": str | None, "workload": int,
+    "unit": str, "ceiling": int}``.  The workload is what the job would
+    actually fold: constructive sweeps are measured in orbit
+    representatives (the bounded ``pattern_and_orbit_counts`` probe stops
+    as soon as the ceiling is exceeded), everything else in closed-form
+    members.  An explicit ``limit`` caps the stream and always admits.
+    Nothing is enumerated either way.
+    """
+    from ..adversaries.enumeration import estimate_adversary_count, pattern_and_orbit_counts
+
+    context = Context(n=spec["n"], t=spec["t"], k=spec["k"])
+    if spec["kind"] == "sweep":
+        restrictions = dict(
+            max_crash_round=spec["max_crash_round"],
+            receiver_policy=spec["receiver_policy"],
+            max_failures=spec["max_failures"],
+        )
+        if spec["limit"] is not None:
+            return {
+                "admit": True, "reason": None, "workload": spec["limit"],
+                "unit": "capped stream items", "ceiling": ceiling,
+            }
+        if spec["symmetry"] == "constructive":
+            _patterns, workload = pattern_and_orbit_counts(
+                context, ceiling=ceiling, **restrictions
+            )
+            unit = "orbit representatives"
+        else:
+            workload = estimate_adversary_count(context, **restrictions)
+            unit = "enumerated members"
+    else:
+        # The census folds the m-round complex; its size is governed by the
+        # same closed form, restricted to crashes within the first m rounds.
+        workload = estimate_adversary_count(
+            context, max_crash_round=spec["time"], receiver_policy="canonical"
+        )
+        unit = "complex-building members"
+    if workload > ceiling:
+        reason = (
+            f"intractable: {workload:,}+ {unit} exceeds the admission ceiling "
+            f"of {ceiling:,}; restrict the space (max_crash_round / "
+            f"max_failures / receiver_policy), cap it with 'limit', or sweep "
+            f"orbits with symmetry='constructive'"
+        )
+        return {
+            "admit": False, "reason": reason, "workload": workload,
+            "unit": unit, "ceiling": ceiling,
+        }
+    return {"admit": True, "reason": None, "workload": workload, "unit": unit, "ceiling": ceiling}
+
+
+# --------------------------------------------------------------- construction
+def build_protocol(spec: Dict[str, Any]):
+    """The protocol instance a sweep spec names."""
+    from ..cli import PROTOCOLS
+
+    return PROTOCOLS[spec["protocol"]](spec["k"])
+
+
+def build_space(spec: Dict[str, Any]):
+    """The :class:`RestrictedSpace` a sweep spec describes."""
+    from ..adversaries.enumeration import RestrictedSpace
+
+    return RestrictedSpace(
+        Context(n=spec["n"], t=spec["t"], k=spec["k"]),
+        max_crash_round=spec["max_crash_round"],
+        receiver_policy=spec["receiver_policy"],
+        max_failures=spec["max_failures"],
+        limit=spec["limit"],
+    )

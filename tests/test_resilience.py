@@ -314,11 +314,16 @@ class TestCliRuntimeFlags:
         assert main(flags + ["--resume"]) == 0
 
     def test_resume_requires_checkpoint(self, capsys):
+        # Rejected at argparse time: SystemExit(2), message on stderr.
+        import pytest
+
         from repro.cli import main
 
-        assert main(["sweep", "-n", "4", "-t", "2", "--max-crash-round", "1",
-                     "--max-failures", "1", "--resume"]) == 2
-        assert "--resume requires --checkpoint" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "-n", "4", "-t", "2", "--max-crash-round", "1",
+                  "--max-failures", "1", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
 
     def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
         import repro.cli as cli

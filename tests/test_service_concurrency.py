@@ -1,0 +1,175 @@
+"""Cross-process service battery: dedupe races, mixed clients, chaos reclaim.
+
+Spawn-context subprocesses (the strictest start method: nothing inherited,
+everything re-imported) exercise the queue the way real deployments do —
+multiple OS processes sharing one SQLite file:
+
+* two processes racing to submit the SAME spec must collapse onto one job
+  row, with exactly one winner of the ``created`` flag;
+* N mixed submit/status clients must leave the queue lossless — every
+  submitted job present, counts consistent, no lost updates;
+* the chaos acceptance: a runner SIGKILLed mid-job (``kill_job_owner``)
+  leaves a stale lease; after expiry another runner reclaims, resumes from
+  the checkpoint boundary, and produces a byte-identical result to an
+  uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+import time
+
+from repro.service import JobQueue, JobRunner, job_id, normalize_spec
+
+#: All subprocess tests use spawn: no inherited locks or connections.
+CTX = multiprocessing.get_context("spawn")
+
+
+def _race_submit(queue_path: str, barrier, out) -> None:
+    from repro.service import JobQueue, job_id, normalize_spec
+
+    spec = normalize_spec({"kind": "sweep", "n": 3, "t": 1, "k": 1})
+    with JobQueue(queue_path) as queue:
+        barrier.wait()  # maximize the collision window
+        job = queue.submit(job_id(spec), spec)
+        out.put((job["id"], job["created"]))
+
+
+def _mixed_client(queue_path: str, index: int, rounds: int, out) -> None:
+    from repro.service import JobQueue, job_id, normalize_spec
+
+    submitted = []
+    with JobQueue(queue_path) as queue:
+        for round_index in range(rounds):
+            spec = normalize_spec(
+                {"kind": "sweep", "n": 3, "t": 1, "k": 1,
+                 "limit": index * rounds + round_index + 1}
+            )
+            jid = job_id(spec)
+            queue.submit(jid, spec)
+            submitted.append(jid)
+            # Interleave reads with the other clients' writes.
+            assert queue.job(jid) is not None
+            queue.depth()
+            queue.jobs(limit=5)
+            queue.counts()
+    out.put((index, submitted))
+
+
+def _doomed_runner(queue_path: str, workdir: str, out) -> None:
+    from repro.runtime.faults import FaultPlan
+    from repro.service import JobQueue, JobRunner
+
+    # Claim ordinal 0 may write two checkpoints, then SIGKILL — the
+    # dead-driver model: no unwinding, no lease release.
+    plan = FaultPlan(kill_job_owner={0: 2})
+    queue = JobQueue(queue_path, lease_seconds=1.0, faults=plan)
+    runner = JobRunner(
+        queue, workdir, batch_size=512, faults=plan, heartbeat_interval=0.2
+    )
+    out.put("running")
+    runner.run_once()
+    out.put("survived")  # unreachable if the fault fired
+
+
+class TestConcurrentClients:
+    def test_racing_same_spec_submits_collapse_to_one_job(self, tmp_path):
+        queue_path = str(tmp_path / "q.sqlite")
+        JobQueue(queue_path).close()  # settle the schema before the race
+        barrier = CTX.Barrier(2)
+        out = CTX.Queue()
+        workers = [
+            CTX.Process(target=_race_submit, args=(queue_path, barrier, out))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        results = [out.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        ids = {jid for jid, _created in results}
+        assert len(ids) == 1, "both submitters must land on one job row"
+        assert sum(created for _jid, created in results) == 1, (
+            "exactly one submitter creates; the other attaches as a watcher"
+        )
+        with JobQueue(queue_path) as queue:
+            assert queue.counts()["queued"] == 1
+            assert len(queue.jobs()) == 1
+
+    def test_mixed_submit_and_status_clients_are_lossless(self, tmp_path):
+        queue_path = str(tmp_path / "q.sqlite")
+        JobQueue(queue_path).close()
+        clients, rounds = 4, 5
+        out = CTX.Queue()
+        workers = [
+            CTX.Process(target=_mixed_client, args=(queue_path, index, rounds, out))
+            for index in range(clients)
+        ]
+        for worker in workers:
+            worker.start()
+        reported = dict(out.get(timeout=120) for _ in workers)
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        submitted = {jid for ids in reported.values() for jid in ids}
+        assert len(submitted) == clients * rounds  # distinct limits, distinct jobs
+        with JobQueue(queue_path) as queue:
+            rows = {job["id"]: job for job in queue.jobs(limit=1000)}
+            counts = queue.counts()
+        assert set(rows) == submitted, "no submitted job may be lost"
+        assert all(job["state"] == "queued" for job in rows.values())
+        assert counts["queued"] == len(submitted)
+        assert sum(counts.values()) == len(submitted)
+
+
+class TestChaosReclaim:
+    def test_sigkilled_runner_is_reclaimed_and_resumes_byte_identical(self, tmp_path):
+        spec = normalize_spec({"kind": "sweep", "n": 4, "t": 2, "k": 2})
+        jid = job_id(spec)
+        queue_path = str(tmp_path / "q.sqlite")
+        with JobQueue(queue_path, lease_seconds=1.0) as queue:
+            queue.submit(jid, spec)
+
+            doomed_out = CTX.Queue()
+            doomed = CTX.Process(
+                target=_doomed_runner,
+                args=(queue_path, str(tmp_path / "work"), doomed_out),
+            )
+            doomed.start()
+            assert doomed_out.get(timeout=60) == "running"
+            doomed.join(timeout=120)
+            # The runner must have died by SIGKILL, not exited cleanly.
+            assert doomed.exitcode == -signal.SIGKILL
+            assert doomed_out.empty(), "the doomed runner must not survive"
+
+            crashed = queue.job(jid)
+            assert crashed["state"] == "running", "the dead owner's lease lingers"
+            assert crashed["owner"] is not None
+
+            # Wait out the lease, then reclaim with a fresh, fault-free runner.
+            time.sleep(1.2)
+            survivor = JobRunner(queue, str(tmp_path / "work"), batch_size=512)
+            outcome = survivor.run_once()
+            assert outcome == {"job": jid, "outcome": "done"}
+
+            recovered = queue.job(jid)
+            kinds = [event["kind"] for event in queue.events(jid)]
+        assert recovered["state"] == "done"
+        assert recovered["attempts"] == 2
+        assert "job_reclaimed" in kinds, "the second claim must be a reclaim"
+        assert "resume" in kinds, "the reclaim must resume from the checkpoint"
+
+        # The acceptance bar: byte-identical to a never-interrupted run.
+        with JobQueue(str(tmp_path / "clean.sqlite")) as clean_queue:
+            clean_queue.submit(jid, spec)
+            clean_outcome = JobRunner(
+                clean_queue, str(tmp_path / "clean-work"), batch_size=512
+            ).run_once()
+            assert clean_outcome["outcome"] == "done"
+            clean = clean_queue.job(jid)
+        assert json.dumps(recovered["result"], sort_keys=True) == json.dumps(
+            clean["result"], sort_keys=True
+        )
